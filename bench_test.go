@@ -1,0 +1,268 @@
+// Benchmarks regenerating every figure of the paper's evaluation (one
+// testing.B per table/figure; see DESIGN.md §2 for the mapping) plus the
+// hot-path kernel microbenchmarks. Figure benches run the CI-sized
+// configuration so `go test -bench=.` stays tractable; the full
+// paper-shaped sweep is `go run ./cmd/proximity-bench`.
+package proximity_test
+
+import (
+	"sync"
+	"testing"
+
+	"proximity/internal/core"
+	"proximity/internal/experiments"
+	"proximity/internal/hnsw"
+	"proximity/internal/vamana"
+	"proximity/internal/vec"
+	"proximity/internal/vectordb"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+	suiteErr  error
+)
+
+// benchSuite lazily builds one shared experiment suite so benchmarks
+// reuse corpora and workloads.
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		cfg := experiments.Quick()
+		cfg.Seeds = 1
+		suite, suiteErr = experiments.NewSuite(cfg)
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+func BenchmarkFig2QuerySkew(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig2QuerySkew(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3Projection(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig3EmbeddingClusters(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6FlatGridMMLU(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig6FlatGrid("mmlu"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6FlatGridMedRAG(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig6FlatGrid("medrag"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7ZipfPolicies(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig7ZipfPolicies(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8BucketSize(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig8BucketSize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9Occupancy(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig9Occupancy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10LookupScaling(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig10LookupScaling(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11LookupParams(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig11LookupParams(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12TripClick(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig12TripClick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpCountAblation(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.OpCountAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionsAblation(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ExtensionsAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- hot-path kernels -------------------------------------------------
+
+// BenchmarkVecKernels measures the distance kernels at the paper's
+// dimensionality; the SIMD-equivalent unrolled loop is the cache's inner
+// scan operation (Algorithm 1 line 2).
+func BenchmarkVecKernels(b *testing.B) {
+	rng := vec.NewRand(1)
+	x := vec.RandomGaussian(rng, 768)
+	y := vec.RandomGaussian(rng, 768)
+	b.Run("L2Squared-768", func(b *testing.B) {
+		var sink float32
+		for i := 0; i < b.N; i++ {
+			sink += vec.L2Squared(x, y)
+		}
+		_ = sink
+	})
+	b.Run("Dot-768", func(b *testing.B) {
+		var sink float32
+		for i := 0; i < b.N; i++ {
+			sink += vec.Dot(x, y)
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkCacheGet measures a single lookup in both cache variants at a
+// paper-scale occupancy (c=1000, d=768).
+func BenchmarkCacheGet(b *testing.B) {
+	const (
+		dim = 768
+		n   = 1000
+	)
+	rng := vec.NewRand(2)
+	fill := func(c core.Cache) {
+		r := vec.NewRand(3)
+		for i := 0; i < n; i++ {
+			c.Put(vec.Scale(vec.RandomUnit(r, dim), 10), []int{i})
+		}
+	}
+	q := vec.Scale(vec.RandomUnit(rng, dim), 10)
+
+	b.Run("flat-1000", func(b *testing.B) {
+		cache, err := core.NewFlat(dim, core.Options{Capacity: n, Tolerance: 1, Policy: core.LRU})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fill(cache)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cache.Get(q)
+		}
+	})
+	b.Run("lsh-1000", func(b *testing.B) {
+		cache, err := core.NewLSH(dim, core.LSHOptions{Bits: 8, Tolerance: 1, Policy: core.LRU, Seed: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fill(cache)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cache.Get(q)
+		}
+	})
+}
+
+// BenchmarkIndexSearch compares the three database substrates on the same
+// random corpus (exact flat scan vs HNSW vs Vamana graph search).
+func BenchmarkIndexSearch(b *testing.B) {
+	const (
+		dim = 128
+		n   = 5000
+		k   = 10
+	)
+	rng := vec.NewRand(5)
+	vectors := make([]vec.Vector, n)
+	for i := range vectors {
+		vectors[i] = vec.RandomGaussian(rng, dim)
+	}
+	q := vec.RandomGaussian(rng, dim)
+
+	b.Run("flat", func(b *testing.B) {
+		ix, err := vectordb.NewFlatFromVectors(vectors, vec.L2Distance)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.Search(q, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hnsw", func(b *testing.B) {
+		ix, err := hnsw.New(dim, vec.L2Distance, hnsw.Config{Seed: 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ix.Add(vectors...); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.Search(q, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("vamana", func(b *testing.B) {
+		ix, err := vamana.Build(vectors, vec.L2Distance, vamana.Config{Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.Search(q, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,127 @@
+// Command proximity-bench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	proximity-bench [-quick] [-seeds N] [-experiment LIST]
+//
+// where LIST is a comma-separated subset of
+// fig2,fig3,fig6-mmlu,fig6-medrag,fig7,fig8,fig9,fig10,fig11,fig12,opcount
+// or "all" (default). Results print to stdout; redirect to a file to keep
+// them. The -quick flag switches to the CI-sized configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"proximity/internal/experiments"
+)
+
+// renderer is the common shape of every figure harness.
+type renderer interface{ Render() string }
+
+// figure pairs a name with its harness invocation.
+type figure struct {
+	name string
+	run  func(*experiments.Suite) (renderer, error)
+}
+
+var figures = []figure{
+	{"fig2", func(s *experiments.Suite) (renderer, error) { return s.Fig2QuerySkew() }},
+	{"fig3", func(s *experiments.Suite) (renderer, error) { return s.Fig3EmbeddingClusters() }},
+	{"fig6-mmlu", func(s *experiments.Suite) (renderer, error) { return s.Fig6FlatGrid("mmlu") }},
+	{"fig6-medrag", func(s *experiments.Suite) (renderer, error) { return s.Fig6FlatGrid("medrag") }},
+	{"fig7", func(s *experiments.Suite) (renderer, error) { return s.Fig7ZipfPolicies() }},
+	{"fig8", func(s *experiments.Suite) (renderer, error) { return s.Fig8BucketSize() }},
+	{"fig9", func(s *experiments.Suite) (renderer, error) { return s.Fig9Occupancy() }},
+	{"fig10", func(s *experiments.Suite) (renderer, error) { return s.Fig10LookupScaling() }},
+	{"fig11", func(s *experiments.Suite) (renderer, error) { return s.Fig11LookupParams() }},
+	{"fig12", func(s *experiments.Suite) (renderer, error) { return s.Fig12TripClick() }},
+	{"opcount", func(s *experiments.Suite) (renderer, error) { return s.OpCountAblation() }},
+	{"ablation", func(s *experiments.Suite) (renderer, error) { return s.ExtensionsAblation() }},
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "proximity-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("proximity-bench", flag.ContinueOnError)
+	var (
+		quick    = fs.Bool("quick", false, "use the CI-sized configuration")
+		seeds    = fs.Int("seeds", 0, "override the number of averaged seeds")
+		dim      = fs.Int("dim", 0, "override the embedding dimensionality")
+		parallel = fs.Int("parallel", 0, "override grid-cell parallelism")
+		which    = fs.String("experiment", "all", "comma-separated figures to run, or 'all'")
+		list     = fs.Bool("list", false, "list available experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, f := range figures {
+			fmt.Println(f.name)
+		}
+		return nil
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *seeds > 0 {
+		cfg.Seeds = *seeds
+	}
+	if *dim > 0 {
+		cfg.Dim = *dim
+	}
+	if *parallel > 0 {
+		cfg.Parallelism = *parallel
+	}
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+
+	selected, err := selectFigures(*which)
+	if err != nil {
+		return err
+	}
+	for _, f := range selected {
+		start := time.Now()
+		fmt.Printf("==> %s\n", f.name)
+		res, err := f.run(suite)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.name, err)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("(%s finished in %v)\n\n", f.name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func selectFigures(which string) ([]figure, error) {
+	if which == "all" {
+		return figures, nil
+	}
+	byName := make(map[string]figure, len(figures))
+	for _, f := range figures {
+		byName[f.name] = f
+	}
+	var out []figure
+	for _, name := range strings.Split(which, ",") {
+		name = strings.TrimSpace(name)
+		f, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (use -list)", name)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestSelectFigures(t *testing.T) {
+	all, err := selectFigures("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(figures) {
+		t.Errorf("all selected %d figures, want %d", len(all), len(figures))
+	}
+
+	some, err := selectFigures("fig2, fig10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 2 || some[0].name != "fig2" || some[1].name != "fig10" {
+		t.Errorf("selection = %v", some)
+	}
+
+	if _, err := selectFigures("fig99"); err == nil {
+		t.Error("unknown figure should error")
+	}
+}
+
+func TestRunListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Errorf("-list should succeed: %v", err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-experiment", "nope"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}
+
+func TestRunSingleQuickExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI smoke test in -short mode")
+	}
+	// opcount is the cheapest full experiment.
+	if err := run([]string{"-quick", "-experiment", "opcount"}); err != nil {
+		t.Errorf("quick opcount run failed: %v", err)
+	}
+}

@@ -1,0 +1,134 @@
+// Command proximity-server runs the Proximity retrieval middleware over a
+// synthetic biomedical corpus: an HTTP service that embeds text queries,
+// consults the approximate cache, and falls back to the vector database
+// on misses — the deployment shape of the paper's Fig. 4.
+//
+// Usage:
+//
+//	proximity-server [-addr :8080] [-cache lsh|flat|none] [-tau 5]
+//	                 [-capacity 200] [-bits 8] [-policy lru|fifo]
+//	                 [-topics 20] [-docs-per-topic 20] [-dim 768]
+//
+// Endpoints: POST /v1/query {"text": ...}, POST /v1/retrieve
+// {"embedding": [...]}, GET /v1/stats, POST /v1/flush, GET /healthz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"proximity/internal/core"
+	"proximity/internal/dataset"
+	"proximity/internal/server"
+	"proximity/internal/vec"
+	"proximity/internal/vectordb"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "proximity-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("proximity-server", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		cacheKind = fs.String("cache", "lsh", "cache variant: lsh, flat, or none")
+		tau       = fs.Float64("tau", 5, "similarity tolerance τ")
+		capacity  = fs.Int("capacity", 200, "flat cache capacity c")
+		bitsL     = fs.Int("bits", 8, "LSH signature width L")
+		bucket    = fs.Int("bucket", core.DefaultBucketCapacity, "LSH per-bucket capacity b")
+		policyStr = fs.String("policy", "lru", "eviction policy: lru or fifo")
+		k         = fs.Int("k", 4, "documents returned per query")
+		rerank    = fs.Int("rerank", 4, "over-fetch factor ρ")
+		topics    = fs.Int("topics", 20, "synthetic corpus topics")
+		docsPer   = fs.Int("docs-per-topic", 20, "passages per topic")
+		questions = fs.Int("questions", 100, "synthetic questions (adds gold passages)")
+		dim       = fs.Int("dim", 768, "embedding dimensionality")
+		seed      = fs.Uint64("seed", 1, "generation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	policy, err := core.ParsePolicy(*policyStr)
+	if err != nil {
+		return err
+	}
+
+	log.Printf("generating synthetic biomedical corpus (%d topics × %d passages + %d questions)...",
+		*topics, *docsPer, *questions)
+	bench, err := dataset.NewMedRAG(dataset.MedRAGConfig{
+		Questions:    *questions,
+		Topics:       *topics,
+		DocsPerTopic: *docsPer,
+		Dim:          *dim,
+		Seed:         *seed,
+	})
+	if err != nil {
+		return err
+	}
+	db, err := vectordb.NewFlatFromVectors(bench.Corpus.Embeddings, vec.L2Distance)
+	if err != nil {
+		return err
+	}
+
+	var cache core.Cache
+	switch *cacheKind {
+	case "none":
+	case "flat":
+		cache, err = core.NewFlat(*dim, core.Options{
+			Capacity:  *capacity,
+			Tolerance: float32(*tau),
+			Policy:    policy,
+		})
+	case "lsh":
+		cache, err = core.NewLSH(*dim, core.LSHOptions{
+			Bits:           *bitsL,
+			BucketCapacity: *bucket,
+			Tolerance:      float32(*tau),
+			Policy:         policy,
+			Seed:           *seed,
+		})
+	default:
+		return fmt.Errorf("unknown cache kind %q", *cacheKind)
+	}
+	if err != nil {
+		return err
+	}
+
+	retr, err := core.NewCachedRetriever(cache, db, core.RetrieverOptions{
+		K:      *k,
+		Rerank: *rerank,
+		Source: db,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Retriever: retr,
+		Embedder:  bench.Embedder(),
+		Docs:      corpusDocs{bench},
+	})
+	if err != nil {
+		return err
+	}
+	return srv.ListenAndServe(*addr, func(bound string) {
+		log.Printf("proximity middleware serving %d passages on %s (cache=%s τ=%v)",
+			db.Len(), bound, *cacheKind, *tau)
+	})
+}
+
+// corpusDocs adapts the benchmark corpus to the server's Documents
+// interface.
+type corpusDocs struct{ bench *dataset.Benchmark }
+
+func (c corpusDocs) Text(id int) (string, error) {
+	if id < 0 || id >= c.bench.Corpus.Len() {
+		return "", fmt.Errorf("doc %d out of range", id)
+	}
+	return c.bench.Corpus.Docs[id].Text, nil
+}

@@ -1,0 +1,117 @@
+// Command tripclick-gen generates and analyzes the synthetic TripClick
+// query log (the stand-in for the proprietary 5.2M-interaction health
+// search log the paper studies in §2.3).
+//
+// Usage:
+//
+//	tripclick-gen [-unique 2000] [-total 20000] [-exponent 0.627]
+//	              [-csv out.csv] [-quiet]
+//
+// It prints the Fig. 2 analysis (rank-frequency curve + fitted Zipf
+// exponent) and optionally writes the full rank-frequency table as CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"proximity/internal/dataset"
+	"proximity/internal/report"
+	"proximity/internal/zipf"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tripclick-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tripclick-gen", flag.ContinueOnError)
+	var (
+		unique   = fs.Int("unique", 2000, "unique queries (paper: ~700k)")
+		total    = fs.Int("total", 20000, "total interactions (paper: 5.2M)")
+		exponent = fs.Float64("exponent", 0.627, "Zipf skew (paper's measured value)")
+		topics   = fs.Int("topics", 40, "health topic clusters")
+		docsPer  = fs.Int("docs-per-topic", 30, "passages per topic")
+		dim      = fs.Int("dim", 768, "embedding dimensionality")
+		seed     = fs.Uint64("seed", 1, "generation seed")
+		csvPath  = fs.String("csv", "", "write the full rank-frequency table to this CSV file")
+		quiet    = fs.Bool("quiet", false, "suppress the sample query listing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	log, err := dataset.NewTripClick(dataset.TripClickConfig{
+		UniqueQueries: *unique,
+		TotalQueries:  *total,
+		Exponent:      *exponent,
+		Topics:        *topics,
+		DocsPerTopic:  *docsPer,
+		Dim:           *dim,
+		Seed:          *seed,
+	})
+	if err != nil {
+		return err
+	}
+	freqs := log.Frequencies()
+	fit, err := zipf.Fit(freqs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("synthetic TripClick log: %d interactions, %d unique queries\n",
+		len(log.Stream), len(log.Bench.Questions))
+	fmt.Printf("fitted Zipf exponent s = %.3f (configured %.3f), R² = %.3f\n\n",
+		fit.Exponent, *exponent, fit.R2)
+
+	tbl := report.NewTable("rank-frequency (log-spaced)", "rank", "frequency")
+	for rank := 1; rank <= len(freqs); rank *= 2 {
+		tbl.AddRow(strconv.Itoa(rank), strconv.Itoa(freqs[rank-1]))
+	}
+	fmt.Println(tbl.String())
+
+	if !*quiet {
+		fmt.Println("most frequent queries:")
+		counts := make(map[int]int)
+		for _, q := range log.Stream {
+			counts[q]++
+		}
+		best, bestCount := 0, 0
+		for q, c := range counts {
+			if c > bestCount {
+				best, bestCount = q, c
+			}
+		}
+		fmt.Printf("  %dx %q\n", bestCount, log.Bench.Questions[best].Text)
+	}
+
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, freqs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d ranks to %s\n", len(freqs), *csvPath)
+	}
+	return nil
+}
+
+func writeCSV(path string, freqs []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "rank,frequency"); err != nil {
+		return err
+	}
+	for i, c := range freqs {
+		if _, err := fmt.Fprintf(f, "%d,%d\n", i+1, c); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}

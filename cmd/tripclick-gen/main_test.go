@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGeneratesAndWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "rf.csv")
+	err := run([]string{
+		"-unique", "100", "-total", "1000", "-topics", "5",
+		"-docs-per-topic", "3", "-dim", "32", "-csv", csv, "-quiet",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "rank,frequency" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if len(lines) != 101 { // header + one row per unique query
+		t.Errorf("csv rows = %d, want 101", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "1,") {
+		t.Errorf("first rank row = %q", lines[1])
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run([]string{"-unique", "100", "-total", "10", "-dim", "16"}); err == nil {
+		t.Error("total < unique should error")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("unknown flag should error")
+	}
+}

@@ -1,0 +1,113 @@
+// MedRAG-Zipf example: the paper's realistically-skewed biomedical
+// workload (§4.2.2) — thousands of queries drawn Zipf(0.8) over a
+// question set, every occurrence uniquely rephrased — served by
+// Proximity-LSH with re-ranking (ρ=4), the configuration behind the
+// paper's headline result (77.2% fewer database calls at stable accuracy).
+//
+// Run with: go run ./examples/medrag-zipf [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"proximity/internal/core"
+	"proximity/internal/dataset"
+	"proximity/internal/llm"
+	"proximity/internal/rag"
+	"proximity/internal/report"
+	"proximity/internal/vec"
+	"proximity/internal/vectordb"
+	"proximity/internal/workload"
+)
+
+func main() {
+	full := flag.Bool("full", false, "paper-sized benchmark (500 questions, 10k queries, dim 768)")
+	flag.Parse()
+	if err := run(*full); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(full bool) error {
+	benchCfg := dataset.MedRAGConfig{Questions: 80, Topics: 12, DocsPerTopic: 8, Dim: 256, Seed: 3}
+	totalQueries := 1500
+	if full {
+		benchCfg = dataset.MedRAGConfig{Seed: 3}
+		totalQueries = 10000
+	}
+	fmt.Println("building MedRAG-sim benchmark (PubMedQA-style questions over a biomedical corpus)...")
+	bench, err := dataset.NewMedRAG(benchCfg)
+	if err != nil {
+		return err
+	}
+	db, err := vectordb.NewFlatFromVectors(bench.Corpus.Embeddings, vec.L2Distance)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("drawing %d queries ~ Zipf(0.8) over %d questions, each uniquely rephrased...\n",
+		totalQueries, len(bench.Questions))
+	w, err := workload.ZipfVariants(bench, totalQueries, 0.8, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("max achievable hit rate (repeat fraction): %.1f%%\n\n", 100*w.MaxHitRate())
+
+	tbl := report.NewTable("MedRAG-Zipf — Proximity-LSH (L=8, b=20, ρ=4) vs no cache",
+		"config", "hit rate [%]", "accuracy [%]", "recall [%]", "mean retrieval", "db calls")
+
+	runOnce := func(name string, cache core.Cache) error {
+		retr, err := core.NewCachedRetriever(cache, db, core.RetrieverOptions{
+			K:       bench.DefaultK,
+			Rerank:  4,
+			Source:  db,
+			Latency: vectordb.PubMedFlatLatency(13),
+		})
+		if err != nil {
+			return err
+		}
+		ans, err := llm.NewAnswerer(bench.Profile, 13)
+		if err != nil {
+			return err
+		}
+		p := rag.Pipeline{Bench: bench, Retriever: retr, Answerer: ans, MeasureRecall: true}
+		res, err := p.Run(w)
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(name,
+			report.Percent(res.HitRate()),
+			report.Percent(res.Accuracy()),
+			report.Percent(res.MeanRecall()),
+			res.MeanRetrieval().Round(1e6).String(),
+			fmt.Sprintf("%d", res.DBCalls()),
+		)
+		return nil
+	}
+
+	if err := runOnce("no cache", nil); err != nil {
+		return err
+	}
+	for _, tau := range []float64{5, 7.5} {
+		cache, err := core.NewLSH(bench.Dim(), core.LSHOptions{
+			Bits:      8,
+			Tolerance: float32(tau),
+			Policy:    core.LRU,
+			Seed:      17,
+		})
+		if err != nil {
+			return err
+		}
+		if err := runOnce(fmt.Sprintf("lsh τ=%v", tau), cache); err != nil {
+			return err
+		}
+		fmt.Printf("  lsh τ=%v: %d/%d buckets allocated, %d entries (%.1f%% of theoretical capacity)\n",
+			tau, cache.BucketsUsed(), 1<<8, cache.Len(), 100*cache.RelativeOccupancy())
+	}
+	fmt.Println()
+	fmt.Println(tbl.String())
+	fmt.Println("shape to observe: most database calls eliminated, recall ≈ 100%, accuracy unchanged.")
+	return nil
+}

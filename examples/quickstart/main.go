@@ -1,0 +1,93 @@
+// Quickstart: put a Proximity cache in front of a small vector database
+// and watch rephrased queries bypass the nearest-neighbor search.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"proximity"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const dim = 256
+
+	// A thesaurus stands in for the semantic knowledge of a neural
+	// encoder: synonyms embed identically. Production users plug in a
+	// real embedding model via the proximity.Embedder interface.
+	enc := proximity.NewEmbedder(dim, 42, proximity.MedicalThesaurus())
+
+	// Index a handful of passages — the "vector database".
+	passages := []string{
+		"inhaled corticosteroids are the preferred long term treatment for persistent asthma",
+		"beta blockers reduce mortality after myocardial infarction in most patients",
+		"metformin is first line therapy for type 2 diabetes unless contraindicated",
+		"regular aerobic exercise lowers resting blood pressure in hypertensive adults",
+		"melatonin can shift circadian rhythm and ease jet lag symptoms",
+	}
+	db, err := proximity.NewFlatIndex(dim, proximity.L2Distance)
+	if err != nil {
+		return err
+	}
+	for _, p := range passages {
+		if err := db.Add(enc.Embed(p)); err != nil {
+			return err
+		}
+	}
+
+	// The Proximity cache: tolerance τ=1 admits rephrasings of a past
+	// query; LRU keeps hot topics resident.
+	cache, err := proximity.NewFlatCache(dim, proximity.Options{
+		Capacity:  64,
+		Tolerance: 1.0,
+		Policy:    proximity.LRU,
+	})
+	if err != nil {
+		return err
+	}
+	retriever, err := proximity.NewRetriever(cache, db, proximity.RetrieverOptions{K: 2})
+	if err != nil {
+		return err
+	}
+
+	// The paper's §2.3 example pair: "best treatment for asthma" vs
+	// "asthma best therapies" — different words, same intent.
+	queries := []string{
+		"best treatment for asthma",
+		"asthma best therapies",       // synonym + reorder: cache hit
+		"first line therapy diabetes", // new topic: miss
+		"diabetes first line remedy",  // rephrasing: hit
+		"best treatment for asthma",   // exact repeat: hit
+	}
+	for _, q := range queries {
+		res, err := retriever.Retrieve(enc.Embed(q))
+		if err != nil {
+			return err
+		}
+		source := "database"
+		if res.Hit {
+			source = "cache  "
+		}
+		fmt.Printf("[%s] %-34q -> passage %v: %q\n", source, q, res.Docs[0], snippet(passages[res.Docs[0]]))
+	}
+
+	stats := cache.Stats()
+	fmt.Printf("\ncache: %d hits, %d misses (%.0f%% hit rate) — %d of %d database calls avoided\n",
+		stats.Hits, stats.Misses, 100*stats.HitRate(), stats.Hits, stats.Lookups())
+	return nil
+}
+
+func snippet(s string) string {
+	if len(s) > 48 {
+		return s[:48] + "..."
+	}
+	return s
+}

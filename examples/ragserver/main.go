@@ -1,0 +1,122 @@
+// RAG server example: run the Proximity HTTP middleware in-process and
+// drive it with the typed client — the service deployment of the paper's
+// Fig. 4, where the cache intercepts queries on their way to the vector
+// database.
+//
+// Run with: go run ./examples/ragserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"proximity/internal/core"
+	"proximity/internal/dataset"
+	"proximity/internal/server"
+	"proximity/internal/vec"
+	"proximity/internal/vectordb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Build a small biomedical corpus and serve it.
+	bench, err := dataset.NewMedRAG(dataset.MedRAGConfig{
+		Questions: 30, Topics: 6, DocsPerTopic: 6, Dim: 256, Seed: 21,
+	})
+	if err != nil {
+		return err
+	}
+	db, err := vectordb.NewFlatFromVectors(bench.Corpus.Embeddings, vec.L2Distance)
+	if err != nil {
+		return err
+	}
+	// A FLAT cache keeps the demo deterministic: any rephrasing within
+	// τ=5 is guaranteed to hit (an LSH cache would additionally require
+	// the rephrasing to fall into the same hyperplane bucket).
+	cache, err := core.NewFlat(bench.Dim(), core.Options{
+		Capacity: 128, Tolerance: 5, Policy: core.LRU,
+	})
+	if err != nil {
+		return err
+	}
+	retr, err := core.NewCachedRetriever(cache, db, core.RetrieverOptions{K: 3})
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Retriever: retr,
+		Embedder:  bench.Embedder(),
+		Docs:      corpusDocs{bench},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Start on an ephemeral port; report readiness through a channel.
+	ready := make(chan string, 1)
+	errs := make(chan error, 1)
+	go func() {
+		errs <- srv.ListenAndServe("127.0.0.1:0", func(addr string) { ready <- addr })
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errs:
+		return err
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("server did not start")
+	}
+	fmt.Printf("middleware listening at %s\n\n", base)
+
+	client := server.NewClient(base)
+	if !client.Healthy() {
+		return fmt.Errorf("health check failed")
+	}
+
+	// Ask the same question twice with different wording.
+	q := bench.Questions[0]
+	for i, text := range []string{q.Text, bench.VariantText(q, 1)} {
+		res, err := client.Query(text)
+		if err != nil {
+			return err
+		}
+		source := "database"
+		if res.Hit {
+			source = "cache"
+		}
+		fmt.Printf("query %d (%s): docs=%v cacheLookup=%.1fµs\n", i+1, source, res.Docs, res.CacheMicros)
+		if len(res.Texts) > 0 {
+			fmt.Printf("  top passage: %.60s...\n", res.Texts[0])
+		}
+	}
+
+	stats, err := client.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nmiddleware stats: hits=%d misses=%d hitRate=%.0f%% entries=%d/%d\n",
+		stats.Hits, stats.Misses, 100*stats.HitRate, stats.Entries, stats.Capacity)
+
+	if err := client.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("cache flushed; middleware remains serving (this demo exits here)")
+	return nil
+}
+
+// corpusDocs resolves passage text for responses.
+type corpusDocs struct{ bench *dataset.Benchmark }
+
+func (c corpusDocs) Text(id int) (string, error) {
+	if id < 0 || id >= c.bench.Corpus.Len() {
+		return "", fmt.Errorf("doc %d out of range", id)
+	}
+	return c.bench.Corpus.Docs[id].Text, nil
+}

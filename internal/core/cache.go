@@ -1,0 +1,152 @@
+// Package core implements Proximity, the paper's approximate key-value
+// cache for RAG pipelines. Keys are query embeddings; values are the
+// document indices a vector database returned for those queries. A lookup
+// succeeds when some cached key lies within a similarity tolerance τ of
+// the incoming query, in which case the cached documents are reused and
+// the expensive database nearest-neighbor search is skipped (Algorithm 1).
+//
+// Two variants are provided, matching §3 of the paper:
+//
+//   - FlatCache (Proximity-FLAT): a single pool scanned linearly on every
+//     lookup — exact with respect to the cached set, but O(c·d) per query.
+//   - LSHCache (Proximity-LSH): 2^L lazily-allocated buckets selected by a
+//     random-hyperplane signature, each a small fixed-capacity flat pool —
+//     O((L+b)·d) per query, independent of total capacity.
+//
+// Both variants support FIFO and LRU eviction and the re-ranking factor ρ
+// (§3.3.4) via CachedRetriever. All cache types are safe for concurrent
+// use.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"proximity/internal/vec"
+)
+
+// Policy selects the eviction strategy applied when a cache (or an LSH
+// bucket) is full (§3.3.2).
+type Policy int
+
+const (
+	// FIFO evicts the oldest inserted entry regardless of use.
+	FIFO Policy = iota + 1
+	// LRU evicts the entry unused for the longest time; cache hits
+	// refresh recency.
+	LRU
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case LRU:
+		return "lru"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts a string into a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "fifo":
+		return FIFO, nil
+	case "lru":
+		return LRU, nil
+	default:
+		return 0, fmt.Errorf("core: unknown eviction policy %q", s)
+	}
+}
+
+// Options configures a cache variant.
+type Options struct {
+	// Capacity is the maximum number of cached entries c (per bucket
+	// for LSHCache, where it is the per-bucket capacity b). Must be
+	// positive.
+	Capacity int
+	// Tolerance is the similarity threshold τ: a lookup hits when the
+	// closest cached key is at distance ≤ τ. τ = 0 degenerates to
+	// exact matching (§3.3.3). Must be non-negative.
+	Tolerance float32
+	// Metric is the distance function, which must match the backing
+	// vector database (§3.1). Defaults to L2.
+	Metric vec.Metric
+	// Policy is the eviction strategy. Defaults to FIFO, the paper's
+	// default for the uniform benchmarks (§4.3).
+	Policy Policy
+}
+
+func (o *Options) fillDefaults() {
+	if o.Metric == 0 {
+		o.Metric = vec.L2Distance
+	}
+	if o.Policy == 0 {
+		o.Policy = FIFO
+	}
+}
+
+func (o Options) validate() error {
+	if o.Capacity <= 0 {
+		return fmt.Errorf("core: capacity must be positive, got %d", o.Capacity)
+	}
+	if o.Tolerance < 0 {
+		return fmt.Errorf("core: tolerance must be non-negative, got %v", o.Tolerance)
+	}
+	if o.Policy != FIFO && o.Policy != LRU {
+		return fmt.Errorf("core: unknown eviction policy %d", int(o.Policy))
+	}
+	return nil
+}
+
+// Stats are cumulative cache counters. HitRate is derived.
+type Stats struct {
+	Hits      int64 // lookups answered from the cache
+	Misses    int64 // lookups that fell through to the database
+	Puts      int64 // insertions
+	Evictions int64 // entries displaced by capacity pressure
+	DistComps int64 // key distance computations across all lookups
+	HashOps   int64 // LSH hyperplane projections (LSHCache only)
+}
+
+// Lookups returns the total number of Get calls.
+func (s Stats) Lookups() int64 { return s.Hits + s.Misses }
+
+// HitRate returns Hits / Lookups, or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if n := s.Lookups(); n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
+// Cache is the approximate key-value store interface shared by
+// Proximity-FLAT and Proximity-LSH. Implementations are safe for
+// concurrent use.
+type Cache interface {
+	// Get returns the documents cached for the closest key within
+	// tolerance, or ok=false on a miss. The returned slice is a copy.
+	Get(q vec.Vector) (docs []int, ok bool)
+	// Put caches the documents retrieved for query embedding q under
+	// the cache-wide tolerance, evicting if necessary. The key and
+	// value are copied.
+	Put(q vec.Vector, docs []int)
+	// PutWithTolerance caches an entry with its own match threshold,
+	// the per-line dynamic tolerance extension (§3.3.3). Negative
+	// tolerances are ignored.
+	PutWithTolerance(q vec.Vector, docs []int, tol float32)
+	// Len returns the current number of cached entries.
+	Len() int
+	// Capacity returns the maximum number of entries (for LSHCache,
+	// the theoretical maximum 2^L·b).
+	Capacity() int
+	// Stats returns a snapshot of the cumulative counters.
+	Stats() Stats
+	// Clear removes all entries (counters are preserved).
+	Clear()
+}
+
+// errNilQuery guards the public entry points.
+var errNilQuery = errors.New("core: nil query embedding")

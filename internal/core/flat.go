@@ -1,0 +1,235 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"proximity/internal/vec"
+)
+
+// FlatCache is Proximity-FLAT (§3.1, Algorithm 1): every lookup linearly
+// scans all cached keys, returning the stored documents of the closest key
+// when it lies within the tolerance. The scan makes lookups exact with
+// respect to the cached set but costs O(c·d) per query, which Fig. 10 of
+// the paper shows becoming prohibitive beyond a few thousand entries —
+// the motivation for LSHCache.
+type FlatCache struct {
+	dim  int
+	opts Options
+	dist vec.DistanceFunc
+
+	mu      sync.Mutex
+	entries []*flatEntry
+	order   *list.List // eviction order; front = next to evict
+	stats   Stats
+}
+
+type flatEntry struct {
+	key  vec.Vector
+	docs []int
+	tol  float32       // per-entry tolerance; the match threshold for this line
+	elem *list.Element // position in eviction order; Value is *flatEntry
+	idx  int           // position in entries (for O(1) removal)
+}
+
+var _ Cache = (*FlatCache)(nil)
+
+// NewFlat creates a Proximity-FLAT cache for dim-dimensional query
+// embeddings.
+func NewFlat(dim int, opts Options) (*FlatCache, error) {
+	opts.fillDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("core: dimension must be positive, got %d", dim)
+	}
+	return &FlatCache{
+		dim:   dim,
+		opts:  opts,
+		dist:  opts.Metric.Func(),
+		order: list.New(),
+	}, nil
+}
+
+// Get scans all cached keys and returns the documents of the closest one
+// within its tolerance (lines 2-5 of Algorithm 1). Entries inserted with
+// Put use the cache-wide τ; PutWithTolerance entries use their own. Under
+// LRU the matched entry's recency is refreshed.
+func (c *FlatCache) Get(q vec.Vector) ([]int, bool) {
+	if q == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	scan := c.scanLocked(q)
+	if scan.admissible == nil {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	if c.opts.Policy == LRU {
+		c.order.MoveToBack(scan.admissible.elem)
+	}
+	out := make([]int, len(scan.admissible.docs))
+	copy(out, scan.admissible.docs)
+	return out, true
+}
+
+// Peek reports the distance to the closest cached key without affecting
+// recency or hit/miss counters (the scan's distance computations are
+// still charged). Used by multi-probe lookups, diagnostics, and tests.
+func (c *FlatCache) Peek(q vec.Vector) (dist float32, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	scan := c.scanLocked(q)
+	if scan.closest == nil {
+		return 0, false
+	}
+	return scan.closestDist, true
+}
+
+// PeekAdmissible reports the distance to the closest cached key whose own
+// tolerance admits the query, without affecting recency or hit/miss
+// counters. Multi-probe lookups use it to rank candidate buckets.
+func (c *FlatCache) PeekAdmissible(q vec.Vector) (dist float32, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	scan := c.scanLocked(q)
+	if scan.admissible == nil {
+		return 0, false
+	}
+	return scan.admissibleDist, true
+}
+
+// scanResult carries both views of a linear scan: the globally closest
+// entry (diagnostics, Peek) and the closest entry whose own tolerance
+// admits the query (the Algorithm 1 match).
+type scanResult struct {
+	closest        *flatEntry
+	closestDist    float32
+	admissible     *flatEntry
+	admissibleDist float32
+}
+
+// scanLocked performs the linear scan, charging one distance computation
+// per cached key. Ties keep the first-scanned entry, matching the paper's
+// min_by_dist.
+func (c *FlatCache) scanLocked(q vec.Vector) scanResult {
+	var res scanResult
+	for _, e := range c.entries {
+		d := c.dist(q, e.key)
+		if res.closest == nil || d < res.closestDist {
+			res.closest, res.closestDist = e, d
+		}
+		if d <= e.tol && (res.admissible == nil || d < res.admissibleDist) {
+			res.admissible, res.admissibleDist = e, d
+		}
+	}
+	c.stats.DistComps += int64(len(c.entries))
+	return res
+}
+
+// Put inserts the query/documents pair under the cache-wide tolerance,
+// evicting one entry if the cache is full (lines 7-9 of Algorithm 1).
+func (c *FlatCache) Put(q vec.Vector, docs []int) {
+	c.PutWithTolerance(q, docs, c.opts.Tolerance)
+}
+
+// PutWithTolerance inserts an entry with its own match threshold — the
+// per-cache-line dynamic tolerance of Frieder et al. that §3.3.3
+// discusses: a line whose original query had tightly-packed neighbors
+// should only serve queries very close to it. Callers normally derive
+// tol from the retrieved-neighbor distances (see RetrieverOptions.
+// DynamicTolerance).
+func (c *FlatCache) PutWithTolerance(q vec.Vector, docs []int, tol float32) {
+	if q == nil || tol < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if len(c.entries) >= c.opts.Capacity {
+		c.evictLocked()
+	}
+	e := &flatEntry{
+		key:  vec.Clone(q),
+		docs: append([]int(nil), docs...),
+		tol:  tol,
+		idx:  len(c.entries),
+	}
+	e.elem = c.order.PushBack(e)
+	c.entries = append(c.entries, e)
+	c.stats.Puts++
+}
+
+// evictLocked removes the front of the eviction order: the oldest insert
+// under FIFO, the least recently used entry under LRU.
+func (c *FlatCache) evictLocked() {
+	front := c.order.Front()
+	if front == nil {
+		return
+	}
+	victim, ok := front.Value.(*flatEntry)
+	if !ok {
+		// The order list only ever holds *flatEntry; reaching here
+		// means internal corruption, so fail loudly.
+		panic(fmt.Sprintf("core: unexpected eviction list element %T", front.Value))
+	}
+	c.order.Remove(front)
+	// Swap-remove from the scan slice.
+	last := len(c.entries) - 1
+	c.entries[victim.idx] = c.entries[last]
+	c.entries[victim.idx].idx = victim.idx
+	c.entries = c.entries[:last]
+	c.stats.Evictions++
+}
+
+// Len returns the number of cached entries.
+func (c *FlatCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Capacity returns the configured capacity c.
+func (c *FlatCache) Capacity() int { return c.opts.Capacity }
+
+// Tolerance returns the configured similarity threshold τ.
+func (c *FlatCache) Tolerance() float32 { return c.opts.Tolerance }
+
+// Policy returns the eviction policy.
+func (c *FlatCache) Policy() Policy { return c.opts.Policy }
+
+// Stats returns a snapshot of the counters.
+func (c *FlatCache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Clear drops all entries, preserving counters.
+func (c *FlatCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = nil
+	c.order.Init()
+}
+
+// Keys returns copies of the cached key embeddings in eviction order
+// (front first). Diagnostic; O(c·d).
+func (c *FlatCache) Keys() []vec.Vector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]vec.Vector, 0, len(c.entries))
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		entry, ok := el.Value.(*flatEntry)
+		if !ok {
+			panic(fmt.Sprintf("core: unexpected eviction list element %T", el.Value))
+		}
+		out = append(out, vec.Clone(entry.key))
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"proximity/internal/vec"
+)
+
+// Snapshot persistence: a production middleware restarts without losing
+// its warm cache. Snapshots preserve entries, per-line tolerances, and
+// eviction order; cumulative counters restart at zero (they describe a
+// process lifetime, not the cached state).
+//
+// The format is encoding/gob with a version tag; it is an internal
+// format, not a cross-version interchange contract.
+
+const snapshotVersion = 1
+
+// flatSnapshot is the serialized form of a FlatCache.
+type flatSnapshot struct {
+	Version   int
+	Dim       int
+	Capacity  int
+	Tolerance float32
+	Metric    int
+	Policy    int
+	// Entries in eviction order, front (next to evict) first.
+	Keys []vec.Vector
+	Docs [][]int
+	Tols []float32
+}
+
+// WriteSnapshot serializes the cache contents to w.
+func (c *FlatCache) WriteSnapshot(w io.Writer) error {
+	c.mu.Lock()
+	snap := flatSnapshot{
+		Version:   snapshotVersion,
+		Dim:       c.dim,
+		Capacity:  c.opts.Capacity,
+		Tolerance: c.opts.Tolerance,
+		Metric:    int(c.opts.Metric),
+		Policy:    int(c.opts.Policy),
+	}
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e, ok := el.Value.(*flatEntry)
+		if !ok {
+			c.mu.Unlock()
+			return fmt.Errorf("core: corrupt eviction list element %T", el.Value)
+		}
+		snap.Keys = append(snap.Keys, vec.Clone(e.key))
+		snap.Docs = append(snap.Docs, append([]int(nil), e.docs...))
+		snap.Tols = append(snap.Tols, e.tol)
+	}
+	c.mu.Unlock()
+
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("core: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadFlatSnapshot reconstructs a FlatCache from a snapshot.
+func ReadFlatSnapshot(r io.Reader) (*FlatCache, error) {
+	var snap flatSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", snap.Version)
+	}
+	if len(snap.Keys) != len(snap.Docs) || len(snap.Keys) != len(snap.Tols) {
+		return nil, fmt.Errorf("core: corrupt snapshot: %d keys, %d docs, %d tolerances",
+			len(snap.Keys), len(snap.Docs), len(snap.Tols))
+	}
+	c, err := NewFlat(snap.Dim, Options{
+		Capacity:  snap.Capacity,
+		Tolerance: snap.Tolerance,
+		Metric:    vec.Metric(snap.Metric),
+		Policy:    Policy(snap.Policy),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuild cache: %w", err)
+	}
+	for i, k := range snap.Keys {
+		if len(k) != snap.Dim {
+			return nil, fmt.Errorf("core: corrupt snapshot: key %d has dim %d, expected %d",
+				i, len(k), snap.Dim)
+		}
+		c.PutWithTolerance(k, snap.Docs[i], snap.Tols[i])
+	}
+	// Reloading counted one Put per entry; restart the counters so the
+	// new process observes a clean lifetime.
+	c.mu.Lock()
+	c.stats = Stats{}
+	c.mu.Unlock()
+	return c, nil
+}
+
+// lshSnapshot is the serialized form of an LSHCache. Bucket assignment is
+// not stored: keys re-hash into the same buckets because the hyperplane
+// seed is preserved.
+type lshSnapshot struct {
+	Version        int
+	Dim            int
+	Bits           int
+	BucketCapacity int
+	Tolerance      float32
+	Metric         int
+	Policy         int
+	Seed           uint64
+	Probes         int
+	Keys           []vec.Vector
+	Docs           [][]int
+	Tols           []float32
+}
+
+// WriteSnapshot serializes the cache contents to w. Within each bucket,
+// eviction order is preserved; ordering across buckets is immaterial.
+func (c *LSHCache) WriteSnapshot(w io.Writer) error {
+	snap := lshSnapshot{
+		Version:        snapshotVersion,
+		Dim:            c.hasher.Dim(),
+		Bits:           c.hasher.Bits(),
+		BucketCapacity: c.bucket.Capacity,
+		Tolerance:      c.bucket.Tolerance,
+		Metric:         int(c.bucket.Metric),
+		Policy:         int(c.bucket.Policy),
+		Seed:           c.seed,
+		Probes:         c.probes,
+	}
+	c.mu.RLock()
+	buckets := make([]*FlatCache, 0, len(c.buckets))
+	for _, b := range c.buckets {
+		buckets = append(buckets, b)
+	}
+	c.mu.RUnlock()
+	for _, b := range buckets {
+		b.mu.Lock()
+		for el := b.order.Front(); el != nil; el = el.Next() {
+			e, ok := el.Value.(*flatEntry)
+			if !ok {
+				b.mu.Unlock()
+				return fmt.Errorf("core: corrupt eviction list element %T", el.Value)
+			}
+			snap.Keys = append(snap.Keys, vec.Clone(e.key))
+			snap.Docs = append(snap.Docs, append([]int(nil), e.docs...))
+			snap.Tols = append(snap.Tols, e.tol)
+		}
+		b.mu.Unlock()
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("core: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadLSHSnapshot reconstructs an LSHCache from a snapshot.
+func ReadLSHSnapshot(r io.Reader) (*LSHCache, error) {
+	var snap lshSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", snap.Version)
+	}
+	if len(snap.Keys) != len(snap.Docs) || len(snap.Keys) != len(snap.Tols) {
+		return nil, fmt.Errorf("core: corrupt snapshot: %d keys, %d docs, %d tolerances",
+			len(snap.Keys), len(snap.Docs), len(snap.Tols))
+	}
+	c, err := NewLSH(snap.Dim, LSHOptions{
+		Bits:           snap.Bits,
+		BucketCapacity: snap.BucketCapacity,
+		Tolerance:      snap.Tolerance,
+		Metric:         vec.Metric(snap.Metric),
+		Policy:         Policy(snap.Policy),
+		Seed:           snap.Seed,
+		Probes:         snap.Probes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuild cache: %w", err)
+	}
+	for i, k := range snap.Keys {
+		if len(k) != snap.Dim {
+			return nil, fmt.Errorf("core: corrupt snapshot: key %d has dim %d, expected %d",
+				i, len(k), snap.Dim)
+		}
+		c.PutWithTolerance(k, snap.Docs[i], snap.Tols[i])
+	}
+	c.mu.Lock()
+	c.hashOps = 0
+	c.missesOnEmpty = 0
+	buckets := make([]*FlatCache, 0, len(c.buckets))
+	for _, b := range c.buckets {
+		buckets = append(buckets, b)
+	}
+	c.mu.Unlock()
+	for _, b := range buckets {
+		b.mu.Lock()
+		b.stats = Stats{}
+		b.mu.Unlock()
+	}
+	return c, nil
+}

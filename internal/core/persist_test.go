@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"proximity/internal/vec"
+)
+
+func TestFlatSnapshotRoundTrip(t *testing.T) {
+	orig := mustFlat(t, 2, Options{Capacity: 4, Tolerance: 1.5, Policy: LRU})
+	orig.Put(vec.Vector{0, 0}, []int{1, 2})
+	orig.Put(vec.Vector{10, 0}, []int{3})
+	orig.PutWithTolerance(vec.Vector{20, 0}, []int{4}, 0.25)
+
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadFlatSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 3 {
+		t.Fatalf("restored Len = %d", restored.Len())
+	}
+	if restored.Capacity() != 4 || restored.Tolerance() != 1.5 || restored.Policy() != LRU {
+		t.Error("options not preserved")
+	}
+	// Content behaves identically.
+	if docs, ok := restored.Get(vec.Vector{0.5, 0}); !ok || docs[0] != 1 {
+		t.Errorf("restored Get = %v %v", docs, ok)
+	}
+	// Per-line tolerances survive: the 0.25-line rejects a 0.5 query.
+	if _, ok := restored.Get(vec.Vector{20.5, 0}); ok {
+		t.Error("per-line tolerance lost on reload")
+	}
+	if docs, ok := restored.Get(vec.Vector{20.1, 0}); !ok || docs[0] != 4 {
+		t.Errorf("tight line should still serve close queries: %v %v", docs, ok)
+	}
+	// Counters restart.
+	if s := restored.Stats(); s.Puts != 0 {
+		t.Errorf("restored counters = %+v, want clean", s)
+	}
+}
+
+func TestFlatSnapshotPreservesEvictionOrder(t *testing.T) {
+	orig := mustFlat(t, 1, Options{Capacity: 3, Tolerance: 0.1, Policy: FIFO})
+	orig.Put(vec.Vector{0}, []int{0})
+	orig.Put(vec.Vector{10}, []int{1})
+	orig.Put(vec.Vector{20}, []int{2})
+
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadFlatSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Next insert must evict {0}, the original front.
+	restored.Put(vec.Vector{30}, []int{3})
+	if _, ok := restored.Get(vec.Vector{0}); ok {
+		t.Error("eviction order lost: oldest entry survived")
+	}
+	if _, ok := restored.Get(vec.Vector{10}); !ok {
+		t.Error("second-oldest entry should survive")
+	}
+}
+
+func TestLSHSnapshotRoundTrip(t *testing.T) {
+	orig := mustLSH(t, 16, LSHOptions{
+		Bits: 6, BucketCapacity: 4, Tolerance: 1, Policy: LRU, Seed: 77, Probes: 3,
+	})
+	rng := vec.NewRand(5)
+	keys := make([]vec.Vector, 30)
+	for i := range keys {
+		keys[i] = vec.Scale(vec.RandomUnit(rng, 16), 10)
+		orig.Put(keys[i], []int{i})
+	}
+
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadLSHSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != orig.Len() {
+		t.Fatalf("restored Len = %d, want %d", restored.Len(), orig.Len())
+	}
+	if restored.Bits() != 6 || restored.BucketCapacity() != 4 || restored.Probes() != 3 {
+		t.Error("options not preserved")
+	}
+	// Same seed → same buckets → identical behavior on every key.
+	if restored.BucketsUsed() != orig.BucketsUsed() {
+		t.Errorf("bucket layout changed: %d vs %d", restored.BucketsUsed(), orig.BucketsUsed())
+	}
+	for i, k := range keys {
+		od, oOK := orig.Get(k)
+		rd, rOK := restored.Get(k)
+		if oOK != rOK {
+			t.Fatalf("key %d: hit divergence (orig %v, restored %v)", i, oOK, rOK)
+		}
+		if oOK && od[0] != rd[0] {
+			t.Fatalf("key %d: docs diverge (%v vs %v)", i, od, rd)
+		}
+	}
+}
+
+func TestSnapshotDecodeErrors(t *testing.T) {
+	if _, err := ReadFlatSnapshot(strings.NewReader("not gob")); err == nil {
+		t.Error("garbage flat snapshot should error")
+	}
+	if _, err := ReadLSHSnapshot(strings.NewReader("not gob")); err == nil {
+		t.Error("garbage lsh snapshot should error")
+	}
+	// A flat snapshot is not an LSH snapshot: it decodes (gob matches
+	// by field name) but rebuilding fails on the zero Bits field.
+	flat := mustFlat(t, 2, Options{Capacity: 2, Tolerance: 1})
+	flat.Put(vec.Vector{1, 1}, []int{1})
+	var buf bytes.Buffer
+	if err := flat.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLSHSnapshot(&buf); err == nil {
+		t.Error("flat snapshot should not load as an LSH cache")
+	}
+}
+
+func TestSnapshotEmptyCache(t *testing.T) {
+	orig := mustFlat(t, 3, Options{Capacity: 2, Tolerance: 1})
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadFlatSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 0 {
+		t.Errorf("empty snapshot restored %d entries", restored.Len())
+	}
+	// Still usable.
+	restored.Put(vec.Vector{1, 2, 3}, []int{9})
+	if _, ok := restored.Get(vec.Vector{1, 2, 3}); !ok {
+		t.Error("restored empty cache unusable")
+	}
+}

@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"math/rand/v2"
+
+	"proximity/internal/llm"
+	"proximity/internal/vec"
+)
+
+// newRand adapts the repository-wide seeded PRNG constructor.
+func newRand(seed uint64) *rand.Rand { return vec.NewRand(seed) }
+
+// Dim768 is the paper's embedding dimensionality (MedCPT and DPR).
+const Dim768 = 768
+
+// MMLUConfig parameterizes the MMLU-sim benchmark. Zero values select the
+// paper-shaped defaults.
+type MMLUConfig struct {
+	// Questions defaults to 131, the econometrics subset size (§4.2.2).
+	Questions int
+	// Topics defaults to 57, MMLU's subject count.
+	Topics int
+	// DocsPerTopic scales the corpus (default 30; the paper's wiki_dpr
+	// has 21M passages — see the LatencyModel substitution).
+	DocsPerTopic int
+	// Dim defaults to 768.
+	Dim int
+	// Seed drives all generation.
+	Seed uint64
+}
+
+// NewMMLU builds the MMLU-sim benchmark: DPR-like geometry where distinct
+// questions sit ≈3.5-4.5 apart, so the paper's τ = 5 regime (hit rates
+// above the variant-repetition bound, mild accuracy dip) is reachable.
+func NewMMLU(cfg MMLUConfig) (*Benchmark, error) {
+	if cfg.Questions == 0 {
+		cfg.Questions = 131
+	}
+	if cfg.Topics == 0 {
+		cfg.Topics = 57
+	}
+	if cfg.DocsPerTopic == 0 {
+		cfg.DocsPerTopic = 30
+	}
+	if cfg.Dim == 0 {
+		cfg.Dim = Dim768
+	}
+	return build(config{
+		name:         "mmlu",
+		topics:       cfg.Topics,
+		docsPerTopic: cfg.DocsPerTopic,
+		kwPerTopic:   6,
+		kwPerDoc:     4,
+		docSpecific:  8,
+		questions:    cfg.Questions,
+		qTopicKw:     4,
+		qContent:     6,
+		goldPerQ:     3,
+		goldShared:   3,
+		dim:          cfg.Dim,
+		seed:         cfg.Seed,
+		style:        VariantStyle{ParaphraseProb: 0.3, MinSwaps: 1, MaxSwaps: 1},
+		profile:      llm.MMLUProfile(),
+		defaultK:     4,
+		synonymFrac:  0.3,
+	})
+}
+
+// MedRAGConfig parameterizes the MedRAG-sim benchmark.
+type MedRAGConfig struct {
+	// Questions defaults to 500, the PubMedQA question count; the
+	// paper's uniform workload samples 200 of these (§4.2.2).
+	Questions int
+	// Topics defaults to 50 biomedical topic clusters.
+	Topics int
+	// DocsPerTopic scales the corpus (default 30).
+	DocsPerTopic int
+	// Dim defaults to 768.
+	Dim int
+	// Seed drives all generation.
+	Seed uint64
+}
+
+// NewMedRAG builds the MedRAG-sim benchmark: MedCPT-like geometry with
+// long questions (distinct questions ≈7.7-8.5 apart — outside τ=7.5,
+// where the paper's Fig. 7b still shows ≈100%% recall, but inside τ=10,
+// where its accuracy collapses) and deeper rephrasing, so τ = 5 catches
+// only true variants.
+func NewMedRAG(cfg MedRAGConfig) (*Benchmark, error) {
+	if cfg.Questions == 0 {
+		cfg.Questions = 500
+	}
+	if cfg.Topics == 0 {
+		cfg.Topics = 50
+	}
+	if cfg.DocsPerTopic == 0 {
+		cfg.DocsPerTopic = 30
+	}
+	if cfg.Dim == 0 {
+		cfg.Dim = Dim768
+	}
+	return build(config{
+		name:         "medrag",
+		topics:       cfg.Topics,
+		docsPerTopic: cfg.DocsPerTopic,
+		kwPerTopic:   8,
+		kwPerDoc:     5,
+		docSpecific:  10,
+		questions:    cfg.Questions,
+		qTopicKw:     6,
+		qContent:     30,
+		goldPerQ:     3,
+		goldShared:   15,
+		dim:          cfg.Dim,
+		seed:         cfg.Seed,
+		style:        VariantStyle{ParaphraseProb: 1.0, MinSwaps: 1, MaxSwaps: 2},
+		profile:      llm.MedRAGProfile(),
+		defaultK:     4,
+		synonymFrac:  0.4,
+	})
+}
+
+// Subset returns a copy of the benchmark restricted to n randomly chosen
+// questions (the paper samples 200 of the 500 PubMedQA questions). Gold
+// passages of unselected questions remain in the corpus, as they would in
+// a real deployment.
+func (b *Benchmark) Subset(n int, seed uint64) *Benchmark {
+	if n >= len(b.Questions) {
+		return b
+	}
+	rng := newRand(seed)
+	perm := rng.Perm(len(b.Questions))
+	sub := *b
+	sub.Questions = make([]Question, n)
+	for i := 0; i < n; i++ {
+		sub.Questions[i] = b.Questions[perm[i]]
+	}
+	return &sub
+}

@@ -1,0 +1,151 @@
+package dataset
+
+import (
+	"fmt"
+
+	"proximity/internal/llm"
+	"proximity/internal/zipf"
+)
+
+// TripClickConfig parameterizes the synthetic TripClick log. The paper's
+// dataset is proprietary (5.2M interactions, ~700k unique free-text
+// queries from the Trip medical search engine); the synthetic log keeps
+// its measured shape — exact-repeat frequencies following a Zipf law with
+// exponent ≈ 0.627 (Fig. 2) over short health queries that cluster by
+// topic in embedding space (Fig. 3). Defaults are scaled down ~250×; set
+// the fields explicitly for a full-size run.
+type TripClickConfig struct {
+	// UniqueQueries defaults to 2000 (paper: ~700k).
+	UniqueQueries int
+	// TotalQueries defaults to 20000 (paper: 5.2M).
+	TotalQueries int
+	// Exponent is the Zipf skew, default 0.627 as measured in §2.3.
+	Exponent float64
+	// Topics defaults to 40 health areas.
+	Topics int
+	// DocsPerTopic scales the PubMed-sim corpus (default 30).
+	DocsPerTopic int
+	// Dim defaults to 768.
+	Dim int
+	// Seed drives all generation.
+	Seed uint64
+}
+
+func (c *TripClickConfig) fillDefaults() {
+	if c.UniqueQueries == 0 {
+		c.UniqueQueries = 2000
+	}
+	if c.TotalQueries == 0 {
+		c.TotalQueries = 20000
+	}
+	if c.Exponent == 0 {
+		c.Exponent = 0.627
+	}
+	if c.Topics == 0 {
+		c.Topics = 40
+	}
+	if c.DocsPerTopic == 0 {
+		c.DocsPerTopic = 30
+	}
+	if c.Dim == 0 {
+		c.Dim = Dim768
+	}
+}
+
+// TripClickLog is the synthetic query log: a benchmark holding the unique
+// queries (as Questions) plus the interaction stream referencing them.
+type TripClickLog struct {
+	// Bench holds the unique queries and the PubMed-sim corpus they
+	// search.
+	Bench *Benchmark
+	// Stream is the log order: Stream[i] is the index of the question
+	// issued i-th. Repeats are exact (same text), matching the
+	// exact-match frequency analysis of Fig. 2.
+	Stream []int
+}
+
+// NewTripClick generates the synthetic log.
+func NewTripClick(cfg TripClickConfig) (*TripClickLog, error) {
+	cfg.fillDefaults()
+	if cfg.TotalQueries < cfg.UniqueQueries {
+		return nil, fmt.Errorf("dataset: tripclick needs total ≥ unique, got %d < %d",
+			cfg.TotalQueries, cfg.UniqueQueries)
+	}
+	// Short search-engine queries: 2 topic keywords + 3 content words,
+	// so distinct queries sit ≈2.4-3.2 apart — the regime where the
+	// paper's Fig. 12 recall degrades from 99.4% (τ=1) to 92.2% (τ=2.5).
+	// No per-query gold passages: the Fig. 12 metrics (hit rate and
+	// database recall) do not involve answer accuracy, and skipping
+	// them keeps the corpus size independent of the query-log size, as
+	// in the paper (PubMed serves whatever TripClick users ask).
+	bench, err := build(config{
+		name:         "tripclick",
+		topics:       cfg.Topics,
+		docsPerTopic: cfg.DocsPerTopic,
+		kwPerTopic:   6,
+		kwPerDoc:     4,
+		docSpecific:  8,
+		questions:    cfg.UniqueQueries,
+		qTopicKw:     2,
+		qContent:     3,
+		goldPerQ:     0,
+		goldShared:   0,
+		dim:          cfg.Dim,
+		seed:         cfg.Seed,
+		style:        VariantStyle{ParaphraseProb: 1, MinSwaps: 1, MaxSwaps: 1},
+		profile:      llm.MedRAGProfile(),
+		defaultK:     4,
+		synonymFrac:  0.3,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rng := newRand(cfg.Seed + 101)
+	sampler, err := zipf.NewSampler(rng, cfg.UniqueQueries, cfg.Exponent)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: tripclick sampler: %w", err)
+	}
+	// Decouple popularity rank from generation order.
+	rankToQuestion := rng.Perm(cfg.UniqueQueries)
+
+	stream := make([]int, cfg.TotalQueries)
+	for i := range stream {
+		stream[i] = rankToQuestion[sampler.Next()]
+	}
+	// Guarantee every unique query appears at least once, as in the
+	// paper's log where every recorded query occurred. Missing queries
+	// replace tail occurrences of queries that appear more than once,
+	// so no other query loses its only occurrence.
+	counts := make([]int, cfg.UniqueQueries)
+	for _, q := range stream {
+		counts[q]++
+	}
+	var missing []int
+	for q := 0; q < cfg.UniqueQueries; q++ {
+		if counts[q] == 0 {
+			missing = append(missing, q)
+		}
+	}
+	pos := len(stream) - 1
+	for _, q := range missing {
+		for pos >= 0 && counts[stream[pos]] < 2 {
+			pos--
+		}
+		if pos < 0 {
+			return nil, fmt.Errorf("dataset: tripclick cannot place %d missing queries in a stream of %d",
+				len(missing), len(stream))
+		}
+		counts[stream[pos]]--
+		stream[pos] = q
+		counts[q]++
+	}
+
+	return &TripClickLog{Bench: bench, Stream: stream}, nil
+}
+
+// Frequencies returns the exact-match rank-frequency curve of the stream
+// (descending), the input to the Fig. 2 Zipf fit.
+func (l *TripClickLog) Frequencies() []int {
+	return zipf.RankFrequency(l.Stream)
+}

@@ -1,0 +1,87 @@
+package embed
+
+import (
+	"sort"
+	"strings"
+)
+
+// Thesaurus maps synonymous surface forms onto one canonical token. It is
+// the explicit stand-in for the semantic knowledge inside a neural
+// encoder: MedCPT places "treatment" and "therapy" nearby because it was
+// trained on biomedical text; the token-hash encoder places them at the
+// same point because the thesaurus says so. Dataset generators register
+// the synonym families their rephraser draws from, so rephrased queries
+// provably land near the original.
+//
+// A Thesaurus is safe for concurrent reads after construction; Register
+// calls must not race with use.
+type Thesaurus struct {
+	canonical map[string]string
+}
+
+// NewThesaurus creates an empty thesaurus.
+func NewThesaurus() *Thesaurus {
+	return &Thesaurus{canonical: make(map[string]string)}
+}
+
+// Register declares that every word in the group is a synonym of the
+// first. Words are lower-cased. Registering an empty group is a no-op.
+func (t *Thesaurus) Register(group ...string) {
+	if len(group) == 0 {
+		return
+	}
+	head := strings.ToLower(group[0])
+	for _, w := range group {
+		t.canonical[strings.ToLower(w)] = head
+	}
+}
+
+// Canonical returns the canonical form of the token, or the token itself
+// when it is not registered.
+func (t *Thesaurus) Canonical(token string) string {
+	if c, ok := t.canonical[token]; ok {
+		return c
+	}
+	return token
+}
+
+// Synonyms returns all registered surface forms for the token's canonical
+// group, excluding the token itself, sorted lexicographically so callers
+// that pick a synonym by index stay deterministic.
+func (t *Thesaurus) Synonyms(token string) []string {
+	canon := t.Canonical(strings.ToLower(token))
+	var out []string
+	for w, c := range t.canonical {
+		if c == canon && w != strings.ToLower(token) {
+			out = append(out, w)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered surface forms.
+func (t *Thesaurus) Len() int { return len(t.canonical) }
+
+// EnglishMedical returns a small built-in thesaurus with the kind of
+// rephrasing pairs §2.3 of the paper cites ("best treatment for asthma"
+// vs. "asthma best therapies"). Used by the quickstart example and tests.
+func EnglishMedical() *Thesaurus {
+	t := NewThesaurus()
+	groups := [][]string{
+		{"treatment", "therapy", "therapies", "treatments", "remedy"},
+		{"doctor", "physician", "clinician"},
+		{"medicine", "medication", "drug", "drugs"},
+		{"illness", "disease", "condition", "disorder"},
+		{"symptom", "symptoms", "sign", "signs"},
+		{"effective", "efficacious", "beneficial"},
+		{"cause", "causes", "etiology"},
+		{"prevent", "prevention", "prophylaxis"},
+		{"heart", "cardiac", "cardiovascular"},
+		{"cancer", "tumor", "tumour", "malignancy"},
+	}
+	for _, g := range groups {
+		t.Register(g...)
+	}
+	return t
+}

@@ -1,0 +1,6 @@
+package experiments
+
+import "time"
+
+// nowNanos returns a monotonic nanosecond timestamp for micro-timing.
+func nowNanos() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"proximity/internal/core"
+	"proximity/internal/report"
+	"proximity/internal/vec"
+)
+
+// Fig10Result reproduces Fig. 10: the per-query cache lookup time as the
+// number of cached entries n grows, for Proximity-FLAT (linear scan, time
+// grows linearly) and Proximity-LSH (bucketed scan, time stays constant).
+// The paper measures 2µs at n=20 up to 13ms at n=200k for FLAT and a flat
+// 4.8µs for LSH. Absolute numbers depend on hardware; the shape — linear
+// versus flat — is the claim.
+type Fig10Result struct {
+	Dim     int
+	Sizes   []int
+	FlatUS  []float64 // mean lookup microseconds per size
+	LSHUS   []float64
+	LSHBits []int // signature width chosen per size so capacity ≥ n
+}
+
+// Fig10LookupScaling runs the microbenchmark. Caches are filled with
+// random embeddings and probed with a mix of near and far queries under
+// the LRU policy, as in §4.5.1.
+func (s *Suite) Fig10LookupScaling() (*Fig10Result, error) {
+	res := &Fig10Result{
+		Dim:     s.cfg.Dim,
+		Sizes:   s.cfg.Fig10Sizes,
+		FlatUS:  make([]float64, len(s.cfg.Fig10Sizes)),
+		LSHUS:   make([]float64, len(s.cfg.Fig10Sizes)),
+		LSHBits: make([]int, len(s.cfg.Fig10Sizes)),
+	}
+	for i, n := range s.cfg.Fig10Sizes {
+		flatUS, err := s.measureFlatLookup(n)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig10 flat n=%d: %w", n, err)
+		}
+		res.FlatUS[i] = flatUS
+
+		lshBits := bitsForCapacity(n, core.DefaultBucketCapacity)
+		lshUS, err := s.measureLSHLookup(n, lshBits)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig10 lsh n=%d: %w", n, err)
+		}
+		res.LSHUS[i] = lshUS
+		res.LSHBits[i] = lshBits
+	}
+	return res, nil
+}
+
+// bitsForCapacity picks the smallest L with 2^L·b ≥ n. The paper runs
+// Fig. 10 with L=8; beyond 2^8·20 = 5120 entries a wider signature is
+// needed to actually store n entries, which leaves the per-lookup cost
+// unchanged (one bucket of ≤ b entries is scanned either way).
+func bitsForCapacity(n, bucket int) int {
+	l := 8
+	for (1<<l)*bucket < n && l < 30 {
+		l++
+	}
+	return l
+}
+
+func (s *Suite) measureFlatLookup(n int) (float64, error) {
+	cache, err := core.NewFlat(s.cfg.Dim, core.Options{
+		Capacity:  n,
+		Tolerance: 1,
+		Policy:    core.LRU,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return s.fillAndProbe(cache, n)
+}
+
+func (s *Suite) measureLSHLookup(n, lshBits int) (float64, error) {
+	cache, err := core.NewLSH(s.cfg.Dim, core.LSHOptions{
+		Bits:           lshBits,
+		BucketCapacity: core.DefaultBucketCapacity,
+		Tolerance:      1,
+		Policy:         core.LRU,
+		Seed:           s.cfg.BaseSeed + 31,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return s.fillAndProbe(cache, n)
+}
+
+// fillAndProbe inserts n random keys and measures the mean Get latency
+// over the configured number of lookups (half near cached keys, half
+// far), repeated 3× taking the best mean to damp scheduler noise.
+func (s *Suite) fillAndProbe(cache core.Cache, n int) (float64, error) {
+	rng := vec.NewRand(s.cfg.BaseSeed + 33)
+	keys := make([]vec.Vector, 0, minInt(n, 64))
+	for i := 0; i < n; i++ {
+		v := vec.Scale(vec.RandomUnit(rng, s.cfg.Dim), 10)
+		cache.Put(v, []int{i})
+		if len(keys) < cap(keys) {
+			keys = append(keys, v)
+		}
+	}
+	if cache.Len() == 0 {
+		return 0, fmt.Errorf("cache did not retain entries")
+	}
+	probes := make([]vec.Vector, s.cfg.Fig10Lookups)
+	for i := range probes {
+		if i%2 == 0 {
+			probes[i] = vec.GaussianAround(rng, keys[i%len(keys)], 0.01)
+		} else {
+			probes[i] = vec.Scale(vec.RandomUnit(rng, s.cfg.Dim), 10)
+		}
+	}
+	best := 0.0
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		for _, p := range probes {
+			cache.Get(p)
+		}
+		mean := float64(time.Since(start).Nanoseconds()) / float64(len(probes)) / 1e3
+		if rep == 0 || mean < best {
+			best = mean
+		}
+	}
+	return best, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Render prints the scaling table, including the FLAT/LSH ratio.
+func (r *Fig10Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: cache lookup time vs entries (d=%d, LRU)\n\n", r.Dim)
+	tbl := report.NewTable("", "n", "FLAT [µs]", "LSH [µs]", "LSH bits", "FLAT/LSH")
+	for i, n := range r.Sizes {
+		ratio := "-"
+		if r.LSHUS[i] > 0 {
+			ratio = fmt.Sprintf("%.1fx", r.FlatUS[i]/r.LSHUS[i])
+		}
+		tbl.AddRow(
+			strconv.Itoa(n),
+			fmt.Sprintf("%.2f", r.FlatUS[i]),
+			fmt.Sprintf("%.2f", r.LSHUS[i]),
+			strconv.Itoa(r.LSHBits[i]),
+			ratio,
+		)
+	}
+	b.WriteString(tbl.String())
+	return b.String()
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"proximity/internal/dataset"
+	"proximity/internal/metrics"
+	"proximity/internal/report"
+	"proximity/internal/vectordb"
+)
+
+// Fig6Result reproduces one benchmark panel of Fig. 6: test accuracy,
+// cache hit rate, and retrieval latency of Proximity-FLAT across cache
+// capacities c (rows) and similarity tolerances τ (columns, with the
+// no-cache baseline first). FIFO eviction, ρ=1, as in §4.3.
+type Fig6Result struct {
+	Benchmark string
+	Seeds     int
+	Caps      []int
+	Taus      []float64 // excluding the no-cache column
+	// NoCache holds the baseline column (identical across capacities).
+	NoCacheAccuracy float64
+	NoCacheLatency  time.Duration
+	// Grids indexed [capIdx][tauIdx].
+	Accuracy [][]float64
+	HitRate  [][]float64
+	Latency  [][]time.Duration
+}
+
+// Fig6FlatGrid runs the grid for benchmark "mmlu" or "medrag".
+func (s *Suite) Fig6FlatGrid(benchmark string) (*Fig6Result, error) {
+	var (
+		taus    []float64
+		latency func(seed uint64) vectordb.LatencyModel
+	)
+	switch benchmark {
+	case "mmlu":
+		taus = []float64{0.5, 1, 2, 5, 10}
+		latency = vectordb.WikiDPRHNSWLatency
+	case "medrag":
+		taus = []float64{2, 5, 10}
+		latency = vectordb.PubMedFlatLatency
+	default:
+		return nil, fmt.Errorf("experiments: fig6 unknown benchmark %q", benchmark)
+	}
+	bench, db, err := s.uniformBench(benchmark)
+	if err != nil {
+		return nil, err
+	}
+
+	caps := []int{10, 50, 100, 200, 300}
+	res := &Fig6Result{
+		Benchmark: benchmark,
+		Seeds:     s.cfg.Seeds,
+		Caps:      caps,
+		Taus:      taus,
+		Accuracy:  newGrid(len(caps), len(taus)),
+		HitRate:   newGrid(len(caps), len(taus)),
+		Latency:   newDurationGrid(len(caps), len(taus)),
+	}
+
+	// Baseline column: no cache, one aggregate across seeds.
+	var baseline metrics.Aggregate
+	for _, seed := range s.seeds() {
+		w, err := s.uniformWorkload(bench, seed)
+		if err != nil {
+			return nil, err
+		}
+		run, err := s.run(runSpec{
+			bench:      bench,
+			db:         db,
+			latency:    latency(seed),
+			w:          w,
+			cache:      nil,
+			k:          bench.DefaultK,
+			rerank:     1,
+			answerSeed: seed,
+			answer:     true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig6 %s baseline: %w", benchmark, err)
+		}
+		baseline.Add(run)
+	}
+	res.NoCacheAccuracy = baseline.Accuracy()
+	res.NoCacheLatency = baseline.MeanRetrieval()
+
+	// Cached cells, parallel across the grid.
+	type cell struct{ ci, ti int }
+	var cells []cell
+	for ci := range caps {
+		for ti := range taus {
+			cells = append(cells, cell{ci, ti})
+		}
+	}
+	err = s.parallelFor(len(cells), func(i int) error {
+		c := cells[i]
+		var agg metrics.Aggregate
+		for _, seed := range s.seeds() {
+			w, err := s.uniformWorkload(bench, seed)
+			if err != nil {
+				return err
+			}
+			cache, err := s.newCache(CacheSpec{
+				Kind:      "flat",
+				Capacity:  caps[c.ci],
+				Tolerance: float32(taus[c.ti]),
+			}, seed)
+			if err != nil {
+				return err
+			}
+			run, err := s.run(runSpec{
+				bench:      bench,
+				db:         db,
+				latency:    latency(seed),
+				w:          w,
+				cache:      cache,
+				k:          bench.DefaultK,
+				rerank:     1,
+				answerSeed: seed,
+				answer:     true,
+			})
+			if err != nil {
+				return fmt.Errorf("experiments: fig6 %s c=%d τ=%v: %w",
+					benchmark, caps[c.ci], taus[c.ti], err)
+			}
+			agg.Add(run)
+		}
+		res.Accuracy[c.ci][c.ti] = agg.Accuracy()
+		res.HitRate[c.ci][c.ti] = agg.HitRate()
+		res.Latency[c.ci][c.ti] = agg.MeanRetrieval()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// uniformBench resolves the benchmark used by the uniform workloads:
+// full MMLU, or the 200-question MedRAG subset (§4.2.2).
+func (s *Suite) uniformBench(benchmark string) (*dataset.Benchmark, vectordb.DB, error) {
+	switch benchmark {
+	case "mmlu":
+		b, d, err := s.MMLU()
+		return b, d, err
+	case "medrag":
+		_, sub, d, err := s.MedRAG()
+		return sub, d, err
+	default:
+		return nil, nil, fmt.Errorf("experiments: unknown benchmark %q", benchmark)
+	}
+}
+
+// Render prints the three panels as heatmaps.
+func (r *Fig6Result) Render() string {
+	cols := make([]string, 0, len(r.Taus)+1)
+	cols = append(cols, "no-cache")
+	for _, tau := range r.Taus {
+		cols = append(cols, trimFloat(tau))
+	}
+	rows := make([]string, len(r.Caps))
+	for i, c := range r.Caps {
+		rows[i] = strconv.Itoa(c)
+	}
+
+	acc := report.NewHeatmap(fmt.Sprintf("Figure 6a (%s): test accuracy [%%]", r.Benchmark), "c", "tau", rows, cols)
+	hit := report.NewHeatmap(fmt.Sprintf("Figure 6b (%s): hit rate [%%]", r.Benchmark), "c", "tau", rows, cols)
+	lat := report.NewHeatmap(fmt.Sprintf("Figure 6c (%s): retrieval latency [ms]", r.Benchmark), "c", "tau", rows, cols)
+	for ci := range r.Caps {
+		acc.Set(ci, 0, report.Percent(r.NoCacheAccuracy))
+		hit.Set(ci, 0, "-")
+		lat.Set(ci, 0, report.Millis(r.NoCacheLatency))
+		for ti := range r.Taus {
+			acc.Set(ci, ti+1, report.Percent(r.Accuracy[ci][ti]))
+			hit.Set(ci, ti+1, report.Percent(r.HitRate[ci][ti]))
+			lat.Set(ci, ti+1, report.Millis(r.Latency[ci][ti]))
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6 (%s), Proximity-FLAT, FIFO, ρ=1, %d seed(s)\n\n", r.Benchmark, r.Seeds)
+	b.WriteString(acc.String())
+	b.WriteByte('\n')
+	b.WriteString(hit.String())
+	b.WriteByte('\n')
+	b.WriteString(lat.String())
+	return b.String()
+}
+
+// newGrid allocates a rows×cols float grid.
+func newGrid(rows, cols int) [][]float64 {
+	g := make([][]float64, rows)
+	for i := range g {
+		g[i] = make([]float64, cols)
+	}
+	return g
+}
+
+// newDurationGrid allocates a rows×cols duration grid.
+func newDurationGrid(rows, cols int) [][]time.Duration {
+	g := make([][]time.Duration, rows)
+	for i := range g {
+		g[i] = make([]time.Duration, cols)
+	}
+	return g
+}
+
+// trimFloat formats a float without trailing zeros.
+func trimFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'f', -1, 64)
+	return s
+}

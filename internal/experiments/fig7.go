@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"proximity/internal/core"
+	"proximity/internal/metrics"
+	"proximity/internal/report"
+	"proximity/internal/vectordb"
+)
+
+// fig7Policies are the four cache configurations of Fig. 7a/b.
+var fig7Policies = []struct {
+	Name   string
+	Kind   string
+	Policy core.Policy
+}{
+	{Name: "lsh-lru", Kind: "lsh", Policy: core.LRU},
+	{Name: "lsh-fifo", Kind: "lsh", Policy: core.FIFO},
+	{Name: "lru", Kind: "flat", Policy: core.LRU},
+	{Name: "fifo", Kind: "flat", Policy: core.FIFO},
+}
+
+// Fig7Result reproduces Fig. 7 on the MedRAG-Zipf workload (ρ=4, §4.3):
+// (a) accuracy and (b) database k-recall per eviction policy with and
+// without LSH across tolerances; (c) hit rate and (d) average retrieval
+// latency for Proximity-LSH across hash widths L.
+type Fig7Result struct {
+	Seeds    int
+	Taus     []float64
+	Policies []string
+	Bits     []int
+	// Accuracy/Recall indexed [policy][tau].
+	Accuracy [][]float64
+	Recall   [][]float64
+	// HitRate/Latency indexed [bits][tau], LSH-LRU.
+	HitRate [][]float64
+	Latency [][]time.Duration
+}
+
+// Fig7ZipfPolicies runs the four panels.
+func (s *Suite) Fig7ZipfPolicies() (*Fig7Result, error) {
+	full, _, db, err := s.MedRAG()
+	if err != nil {
+		return nil, err
+	}
+	source, ok := db.(vectordb.VectorSource)
+	if !ok {
+		return nil, fmt.Errorf("experiments: fig7 database does not expose vectors for re-ranking")
+	}
+
+	taus := []float64{2.5, 5, 7.5, 10}
+	bits := []int{4, 6, 8, 10}
+	res := &Fig7Result{
+		Seeds:    s.cfg.Seeds,
+		Taus:     taus,
+		Bits:     bits,
+		Accuracy: newGrid(len(fig7Policies), len(taus)),
+		Recall:   newGrid(len(fig7Policies), len(taus)),
+		HitRate:  newGrid(len(bits), len(taus)),
+		Latency:  newDurationGrid(len(bits), len(taus)),
+	}
+	for _, p := range fig7Policies {
+		res.Policies = append(res.Policies, p.Name)
+	}
+
+	// Panels a/b: policies × tolerances, with recall measurement.
+	type abCell struct{ pi, ti int }
+	var abCells []abCell
+	for pi := range fig7Policies {
+		for ti := range taus {
+			abCells = append(abCells, abCell{pi, ti})
+		}
+	}
+	err = s.parallelFor(len(abCells), func(i int) error {
+		c := abCells[i]
+		pol := fig7Policies[c.pi]
+		var agg metrics.Aggregate
+		for _, seed := range s.seeds() {
+			w, err := s.zipfWorkload(seed)
+			if err != nil {
+				return err
+			}
+			cache, err := s.newCache(CacheSpec{
+				Kind:           pol.Kind,
+				Capacity:       s.cfg.ZipfFlatCapacity,
+				Tolerance:      float32(taus[c.ti]),
+				Policy:         pol.Policy,
+				Bits:           8,
+				BucketCapacity: core.DefaultBucketCapacity,
+			}, seed)
+			if err != nil {
+				return err
+			}
+			run, err := s.run(runSpec{
+				bench:         full,
+				db:            db,
+				latency:       vectordb.PubMedFlatLatency(seed),
+				w:             w,
+				cache:         cache,
+				k:             full.DefaultK,
+				rerank:        s.cfg.ZipfRerank,
+				source:        source,
+				answerSeed:    seed,
+				measureRecall: true,
+				answer:        true,
+			})
+			if err != nil {
+				return fmt.Errorf("experiments: fig7 %s τ=%v: %w", pol.Name, taus[c.ti], err)
+			}
+			agg.Add(run)
+		}
+		res.Accuracy[c.pi][c.ti] = agg.Accuracy()
+		res.Recall[c.pi][c.ti] = agg.Recall()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Panels c/d: LSH-LRU hash-width grid, latency-faithful (recall
+	// measurement off so database work reflects the real pipeline).
+	type cdCell struct{ bi, ti int }
+	var cdCells []cdCell
+	for bi := range bits {
+		for ti := range taus {
+			cdCells = append(cdCells, cdCell{bi, ti})
+		}
+	}
+	err = s.parallelFor(len(cdCells), func(i int) error {
+		c := cdCells[i]
+		var agg metrics.Aggregate
+		for _, seed := range s.seeds() {
+			w, err := s.zipfWorkload(seed)
+			if err != nil {
+				return err
+			}
+			cache, err := s.newCache(CacheSpec{
+				Kind:           "lsh",
+				Tolerance:      float32(taus[c.ti]),
+				Policy:         core.LRU,
+				Bits:           bits[c.bi],
+				BucketCapacity: core.DefaultBucketCapacity,
+			}, seed)
+			if err != nil {
+				return err
+			}
+			run, err := s.run(runSpec{
+				bench:      full,
+				db:         db,
+				latency:    vectordb.PubMedFlatLatency(seed),
+				w:          w,
+				cache:      cache,
+				k:          full.DefaultK,
+				rerank:     s.cfg.ZipfRerank,
+				source:     source,
+				answerSeed: seed,
+			})
+			if err != nil {
+				return fmt.Errorf("experiments: fig7 L=%d τ=%v: %w", bits[c.bi], taus[c.ti], err)
+			}
+			agg.Add(run)
+		}
+		res.HitRate[c.bi][c.ti] = agg.HitRate()
+		res.Latency[c.bi][c.ti] = agg.MeanRetrieval()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints the four panels.
+func (r *Fig7Result) Render() string {
+	tauCols := make([]string, len(r.Taus))
+	for i, tau := range r.Taus {
+		tauCols[i] = trimFloat(tau)
+	}
+	bitRows := make([]string, len(r.Bits))
+	for i, b := range r.Bits {
+		bitRows[i] = strconv.Itoa(b)
+	}
+
+	acc := report.NewHeatmap("Figure 7a: test accuracy [%]", "policy", "tau", r.Policies, tauCols)
+	rec := report.NewHeatmap("Figure 7b: database k-recall [%]", "policy", "tau", r.Policies, tauCols)
+	for pi := range r.Policies {
+		for ti := range r.Taus {
+			acc.Set(pi, ti, report.Percent(r.Accuracy[pi][ti]))
+			rec.Set(pi, ti, report.Percent(r.Recall[pi][ti]))
+		}
+	}
+	hit := report.NewHeatmap("Figure 7c: hit rate [%] (LSH-LRU)", "L", "tau", bitRows, tauCols)
+	lat := report.NewHeatmap("Figure 7d: avg retrieval latency [ms] (LSH-LRU)", "L", "tau", bitRows, tauCols)
+	for bi := range r.Bits {
+		for ti := range r.Taus {
+			hit.Set(bi, ti, report.Percent(r.HitRate[bi][ti]))
+			lat.Set(bi, ti, report.Millis(r.Latency[bi][ti]))
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7, MedRAG-Zipf, ρ=4, %d seed(s)\n\n", r.Seeds)
+	for _, p := range []fmt.Stringer{acc, rec, hit, lat} {
+		b.WriteString(p.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

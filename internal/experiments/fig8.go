@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"proximity/internal/core"
+	"proximity/internal/metrics"
+	"proximity/internal/report"
+	"proximity/internal/vectordb"
+)
+
+// Fig8Result reproduces Fig. 8: hit rate and test accuracy of
+// Proximity-LSH as a function of the per-bucket capacity b, with L=8,
+// τ=7.5, LRU on MedRAG-Zipf. The paper finds the hit rate climbing
+// steeply to b=20 and plateauing after, with flat accuracy — the basis
+// for fixing b=20.
+type Fig8Result struct {
+	Seeds    int
+	Bits     int
+	Buckets  []int
+	HitRate  []float64
+	Accuracy []float64
+}
+
+// Fig8BucketSize runs the sweep.
+func (s *Suite) Fig8BucketSize() (*Fig8Result, error) {
+	full, _, db, err := s.MedRAG()
+	if err != nil {
+		return nil, err
+	}
+	source, ok := db.(vectordb.VectorSource)
+	if !ok {
+		return nil, fmt.Errorf("experiments: fig8 database does not expose vectors for re-ranking")
+	}
+	buckets := []int{5, 10, 15, 20, 25, 30}
+	res := &Fig8Result{
+		Seeds:    s.cfg.Seeds,
+		Bits:     s.cfg.Fig8Bits,
+		Buckets:  buckets,
+		HitRate:  make([]float64, len(buckets)),
+		Accuracy: make([]float64, len(buckets)),
+	}
+	err = s.parallelFor(len(buckets), func(i int) error {
+		var agg metrics.Aggregate
+		for _, seed := range s.seeds() {
+			w, err := s.zipfWorkload(seed)
+			if err != nil {
+				return err
+			}
+			cache, err := s.newCache(CacheSpec{
+				Kind:           "lsh",
+				Tolerance:      7.5,
+				Policy:         core.LRU,
+				Bits:           s.cfg.Fig8Bits,
+				BucketCapacity: buckets[i],
+			}, seed)
+			if err != nil {
+				return err
+			}
+			run, err := s.run(runSpec{
+				bench:      full,
+				db:         db,
+				latency:    vectordb.PubMedFlatLatency(seed),
+				w:          w,
+				cache:      cache,
+				k:          full.DefaultK,
+				rerank:     s.cfg.ZipfRerank,
+				source:     source,
+				answerSeed: seed,
+				answer:     true,
+			})
+			if err != nil {
+				return fmt.Errorf("experiments: fig8 b=%d: %w", buckets[i], err)
+			}
+			agg.Add(run)
+		}
+		res.HitRate[i] = agg.HitRate()
+		res.Accuracy[i] = agg.Accuracy()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints the sweep as a table.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: Proximity-LSH per-bucket capacity sweep (L=%d, τ=7.5, LRU, %d seed(s))\n\n", r.Bits, r.Seeds)
+	tbl := report.NewTable("", "b", "hit rate [%]", "accuracy [%]")
+	for i, bk := range r.Buckets {
+		tbl.AddRow(strconv.Itoa(bk), report.Percent(r.HitRate[i]), report.Percent(r.Accuracy[i]))
+	}
+	b.WriteString(tbl.String())
+	return b.String()
+}

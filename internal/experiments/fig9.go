@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"proximity/internal/core"
+	"proximity/internal/report"
+	"proximity/internal/stats"
+	"proximity/internal/vectordb"
+)
+
+// Fig9Result reproduces Fig. 9: the cache occupancy of Proximity-LSH
+// after the MedRAG-Zipf workload completes, across hash widths L and
+// tolerances τ. Panel (a) is occupancy relative to the theoretical
+// capacity 2^L·b; panel (b) is the absolute number of cached entries.
+// The paper's findings: relative occupancy falls sharply with L (adaptive
+// sparsity) and falls mildly with τ (more hits ⇒ fewer inserts).
+type Fig9Result struct {
+	Seeds int
+	Bits  []int
+	Taus  []float64
+	// Relative[bi][ti] is Len/Capacity; Absolute[bi][ti] is Len.
+	Relative [][]float64
+	Absolute [][]float64
+	// BucketsUsed[bi][ti] is the number of allocated buckets.
+	BucketsUsed [][]float64
+}
+
+// Fig9Occupancy runs the grid.
+func (s *Suite) Fig9Occupancy() (*Fig9Result, error) {
+	full, _, db, err := s.MedRAG()
+	if err != nil {
+		return nil, err
+	}
+	source, ok := db.(vectordb.VectorSource)
+	if !ok {
+		return nil, fmt.Errorf("experiments: fig9 database does not expose vectors for re-ranking")
+	}
+	bits := []int{4, 6, 8, 10}
+	taus := []float64{2.5, 5, 7.5, 10}
+	res := &Fig9Result{
+		Seeds:       s.cfg.Seeds,
+		Bits:        bits,
+		Taus:        taus,
+		Relative:    newGrid(len(bits), len(taus)),
+		Absolute:    newGrid(len(bits), len(taus)),
+		BucketsUsed: newGrid(len(bits), len(taus)),
+	}
+	type cell struct{ bi, ti int }
+	var cells []cell
+	for bi := range bits {
+		for ti := range taus {
+			cells = append(cells, cell{bi, ti})
+		}
+	}
+	err = s.parallelFor(len(cells), func(i int) error {
+		c := cells[i]
+		var rel, abs, used stats.Welford
+		for _, seed := range s.seeds() {
+			w, err := s.zipfWorkload(seed)
+			if err != nil {
+				return err
+			}
+			cache, err := core.NewLSH(s.cfg.Dim, core.LSHOptions{
+				Bits:           bits[c.bi],
+				BucketCapacity: core.DefaultBucketCapacity,
+				Tolerance:      float32(taus[c.ti]),
+				Policy:         core.LRU,
+				Seed:           seed,
+			})
+			if err != nil {
+				return err
+			}
+			if _, err := s.run(runSpec{
+				bench:      full,
+				db:         db,
+				w:          w,
+				cache:      cache,
+				k:          full.DefaultK,
+				rerank:     s.cfg.ZipfRerank,
+				source:     source,
+				answerSeed: seed,
+			}); err != nil {
+				return fmt.Errorf("experiments: fig9 L=%d τ=%v: %w", bits[c.bi], taus[c.ti], err)
+			}
+			rel.Add(cache.RelativeOccupancy())
+			abs.Add(float64(cache.Len()))
+			used.Add(float64(cache.BucketsUsed()))
+		}
+		res.Relative[c.bi][c.ti] = rel.Mean()
+		res.Absolute[c.bi][c.ti] = abs.Mean()
+		res.BucketsUsed[c.bi][c.ti] = used.Mean()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints the two occupancy panels.
+func (r *Fig9Result) Render() string {
+	tauCols := make([]string, len(r.Taus))
+	for i, tau := range r.Taus {
+		tauCols[i] = trimFloat(tau)
+	}
+	bitRows := make([]string, len(r.Bits))
+	for i, b := range r.Bits {
+		bitRows[i] = strconv.Itoa(b)
+	}
+	rel := report.NewHeatmap("Figure 9a: entries used relative to full capacity [%]", "L", "tau", bitRows, tauCols)
+	abs := report.NewHeatmap("Figure 9b: cache lines used", "L", "tau", bitRows, tauCols)
+	for bi := range r.Bits {
+		for ti := range r.Taus {
+			rel.Set(bi, ti, report.Percent(r.Relative[bi][ti]))
+			abs.SetFloat(bi, ti, r.Absolute[bi][ti], 0)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9, MedRAG-Zipf, LSH-LRU, b=20, %d seed(s)\n\n", r.Seeds)
+	b.WriteString(rel.String())
+	b.WriteByte('\n')
+	b.WriteString(abs.String())
+	return b.String()
+}

@@ -1,0 +1,327 @@
+// Package hnsw implements a Hierarchical Navigable Small World graph index
+// (Malkov & Yashunin, TPAMI 2018) — the reproduction's stand-in for
+// FAISS-HNSW, which the paper uses to serve the 21M-passage wiki_dpr
+// corpus for the MMLU benchmark (§4.2.1).
+//
+// The index is a multi-layer proximity graph: each vector is assigned a
+// maximum layer drawn from a geometric distribution; search descends
+// greedily from the sparse top layers to layer 0, where a best-first beam
+// of width ef explores the dense base graph. Construction is sequential;
+// Search is safe for concurrent use once building is done.
+package hnsw
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"proximity/internal/vec"
+	"proximity/internal/vectordb"
+)
+
+// Config parameterizes graph construction.
+type Config struct {
+	// M is the out-degree target for upper layers (layer 0 allows 2M).
+	// Default 16.
+	M int
+	// EfConstruction is the beam width used while inserting. Default 200.
+	EfConstruction int
+	// EfSearch is the default beam width for queries. Default 64;
+	// raise for higher recall, lower for faster lookups.
+	EfSearch int
+	// Seed drives the layer assignment.
+	Seed uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.M == 0 {
+		c.M = 16
+	}
+	if c.EfConstruction == 0 {
+		c.EfConstruction = 200
+	}
+	if c.EfSearch == 0 {
+		c.EfSearch = 64
+	}
+}
+
+func (c Config) validate() error {
+	if c.M < 2 {
+		return fmt.Errorf("hnsw: M must be ≥ 2, got %d", c.M)
+	}
+	if c.EfConstruction < 1 || c.EfSearch < 1 {
+		return fmt.Errorf("hnsw: ef parameters must be positive (construction=%d search=%d)",
+			c.EfConstruction, c.EfSearch)
+	}
+	return nil
+}
+
+// Index is the HNSW graph. It implements vectordb.DB and
+// vectordb.VectorSource.
+type Index struct {
+	cfg    Config
+	dim    int
+	metric vec.Metric
+	dist   vec.DistanceFunc
+	rng    interface{ Float64() float64 }
+	mult   float64 // level multiplier 1/ln(M)
+
+	vectors  []vec.Vector
+	levels   []int           // max layer per node
+	layers   []map[int][]int // layers[l][node] = neighbor ids
+	entry    int             // entry point node
+	maxLevel int
+}
+
+var (
+	_ vectordb.DB           = (*Index)(nil)
+	_ vectordb.VectorSource = (*Index)(nil)
+)
+
+// New creates an empty HNSW index.
+func New(dim int, metric vec.Metric, cfg Config) (*Index, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("hnsw: dimension must be positive, got %d", dim)
+	}
+	return &Index{
+		cfg:    cfg,
+		dim:    dim,
+		metric: metric,
+		dist:   metric.Func(),
+		rng:    vec.NewRand(cfg.Seed),
+		mult:   1 / math.Log(float64(cfg.M)),
+		entry:  -1,
+	}, nil
+}
+
+// Dim returns the indexed dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Len returns the number of indexed vectors.
+func (ix *Index) Len() int { return len(ix.vectors) }
+
+// Metric returns the distance metric.
+func (ix *Index) Metric() vec.Metric { return ix.metric }
+
+// Vector returns the stored vector for an ID.
+func (ix *Index) Vector(id int) (vec.Vector, error) {
+	if id < 0 || id >= len(ix.vectors) {
+		return nil, fmt.Errorf("hnsw: id %d out of range (have %d)", id, len(ix.vectors))
+	}
+	return ix.vectors[id], nil
+}
+
+// Add inserts vectors sequentially. Not safe to call concurrently with
+// Search.
+func (ix *Index) Add(vectors ...vec.Vector) error {
+	for i, v := range vectors {
+		if len(v) != ix.dim {
+			return fmt.Errorf("hnsw: vector %d has dim %d, index dim %d: %w",
+				i, len(v), ix.dim, vec.ErrDimensionMismatch)
+		}
+	}
+	for _, v := range vectors {
+		ix.insert(v)
+	}
+	return nil
+}
+
+func (ix *Index) randomLevel() int {
+	return int(-math.Log(1-ix.rng.Float64()) * ix.mult)
+}
+
+func (ix *Index) neighbors(node, layer int) []int {
+	if layer >= len(ix.layers) {
+		return nil
+	}
+	return ix.layers[layer][node]
+}
+
+func (ix *Index) setNeighbors(node, layer int, ns []int) {
+	for len(ix.layers) <= layer {
+		ix.layers = append(ix.layers, make(map[int][]int))
+	}
+	ix.layers[layer][node] = ns
+}
+
+func (ix *Index) insert(v vec.Vector) {
+	id := len(ix.vectors)
+	ix.vectors = append(ix.vectors, v)
+	level := ix.randomLevel()
+	ix.levels = append(ix.levels, level)
+
+	if ix.entry < 0 {
+		for l := 0; l <= level; l++ {
+			ix.setNeighbors(id, l, nil)
+		}
+		ix.entry = id
+		ix.maxLevel = level
+		return
+	}
+
+	ep := ix.entry
+	// Greedy descent through layers above the node's level.
+	for l := ix.maxLevel; l > level; l-- {
+		ep = ix.greedyClosest(v, ep, l)
+	}
+	// Beam insert from min(level, maxLevel) down to 0.
+	for l := min(level, ix.maxLevel); l >= 0; l-- {
+		candidates := ix.searchLayer(v, ep, ix.cfg.EfConstruction, l)
+		m := ix.cfg.M
+		if l == 0 {
+			m = 2 * ix.cfg.M
+		}
+		selected := vec.TopK(candidates, ix.cfg.M)
+		ns := vec.IDs(selected)
+		ix.setNeighbors(id, l, ns)
+		for _, n := range ns {
+			ix.linkBack(n, id, l, m)
+		}
+		if len(candidates) > 0 {
+			ep = candidates[0].ID
+		}
+	}
+	if level > ix.maxLevel {
+		ix.maxLevel = level
+		ix.entry = id
+	}
+}
+
+// linkBack adds id to node's neighbor list at the layer, pruning to the
+// mMax closest if the list overflows.
+func (ix *Index) linkBack(node, id, layer, mMax int) {
+	ns := append(ix.neighbors(node, layer), id)
+	if len(ns) > mMax {
+		scored := make([]vec.Scored, len(ns))
+		base := ix.vectors[node]
+		for i, n := range ns {
+			scored[i] = vec.Scored{ID: n, Dist: ix.dist(base, ix.vectors[n])}
+		}
+		ns = vec.IDs(vec.TopK(scored, mMax))
+	}
+	ix.setNeighbors(node, layer, ns)
+}
+
+// greedyClosest walks layer l from ep to the locally closest node to q.
+func (ix *Index) greedyClosest(q vec.Vector, ep, layer int) int {
+	cur := ep
+	curDist := ix.dist(q, ix.vectors[cur])
+	for {
+		improved := false
+		for _, n := range ix.neighbors(cur, layer) {
+			if d := ix.dist(q, ix.vectors[n]); d < curDist {
+				cur, curDist = n, d
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// searchLayer is the best-first beam search of HNSW (Algorithm 2 of the
+// paper's HNSW reference): it maintains the ef closest found so far and
+// expands the closest unexplored candidate until no candidate can improve
+// the result set. Returns found nodes sorted ascending by distance.
+func (ix *Index) searchLayer(q vec.Vector, ep, ef, layer int) []vec.Scored {
+	visited := map[int]struct{}{ep: {}}
+	epDist := ix.dist(q, ix.vectors[ep])
+
+	// candidates: min-heap by distance; results: max-heap capped at ef.
+	cands := &minHeap{{ID: ep, Dist: epDist}}
+	results := &maxHeap{{ID: ep, Dist: epDist}}
+
+	for cands.Len() > 0 {
+		c := heap.Pop(cands).(vec.Scored)
+		worst := (*results)[0]
+		if c.Dist > worst.Dist && results.Len() >= ef {
+			break
+		}
+		for _, n := range ix.neighbors(c.ID, layer) {
+			if _, seen := visited[n]; seen {
+				continue
+			}
+			visited[n] = struct{}{}
+			d := ix.dist(q, ix.vectors[n])
+			if results.Len() < ef || d < (*results)[0].Dist {
+				heap.Push(cands, vec.Scored{ID: n, Dist: d})
+				heap.Push(results, vec.Scored{ID: n, Dist: d})
+				if results.Len() > ef {
+					heap.Pop(results)
+				}
+			}
+		}
+	}
+	out := make([]vec.Scored, results.Len())
+	copy(out, *results)
+	return vec.TopK(out, len(out))
+}
+
+// Search returns the approximate k nearest neighbors using the default
+// EfSearch beam width.
+func (ix *Index) Search(q vec.Vector, k int) ([]vec.Scored, error) {
+	return ix.SearchEf(q, k, ix.cfg.EfSearch)
+}
+
+// SearchEf searches with an explicit beam width ef ≥ k for recall tuning.
+func (ix *Index) SearchEf(q vec.Vector, k, ef int) ([]vec.Scored, error) {
+	if k <= 0 {
+		return nil, vectordb.ErrBadK
+	}
+	if len(ix.vectors) == 0 {
+		return nil, vectordb.ErrEmptyIndex
+	}
+	if len(q) != ix.dim {
+		return nil, fmt.Errorf("hnsw: query dim %d, index dim %d: %w",
+			len(q), ix.dim, vec.ErrDimensionMismatch)
+	}
+	if ef < k {
+		ef = k
+	}
+	ep := ix.entry
+	for l := ix.maxLevel; l > 0; l-- {
+		ep = ix.greedyClosest(q, ep, l)
+	}
+	found := ix.searchLayer(q, ep, ef, 0)
+	return vec.TopK(found, k), nil
+}
+
+type minHeap []vec.Scored
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].Dist < h[j].Dist }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(vec.Scored)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type maxHeap []vec.Scored
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(vec.Scored)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

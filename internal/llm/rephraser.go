@@ -1,0 +1,136 @@
+package llm
+
+import (
+	"strconv"
+	"strings"
+
+	"proximity/internal/embed"
+)
+
+// Rephraser deterministically rewrites query text, standing in for the two
+// rewriting mechanisms of §4.2.2:
+//
+//   - PrefixVariant: the uniform MMLU/MedRAG datasets repeat each question
+//     four times "in slight variations ... by adding some small textual
+//     prefix";
+//   - Paraphrase: the MedRAG-Zipf dataset rephrases every occurrence with
+//     an LLM so each surface form is unique but semantically equivalent.
+//
+// Rewrites compose three effects with distinct embedding signatures under
+// the token-hash encoder:
+//
+//   - chatter prefixes made of stopwords (small, weight-damped drift);
+//   - synonym substitutions through the thesaurus (zero drift — the
+//     encoder knows these are the same word);
+//   - content-word inflections ("kapori" → "kapori2") that the encoder
+//     does not recognize (≈√2 drift each), modeling the residual distance
+//     real encoders show between paraphrases.
+//
+// All rewrites are deterministic functions of (text, variant/occurrence).
+type Rephraser struct {
+	thesaurus *embed.Thesaurus
+	seed      uint64
+}
+
+// NewRephraser creates a rephraser. thesaurus may be nil, disabling
+// synonym substitution.
+func NewRephraser(thesaurus *embed.Thesaurus, seed uint64) *Rephraser {
+	return &Rephraser{thesaurus: thesaurus, seed: seed}
+}
+
+// chatterWords are the stopword building blocks for unique prefixes. All
+// of them appear in the encoder's default stopword list so prefixes carry
+// the damped weight.
+var chatterWords = []string{
+	"please", "tell", "me", "about", "the", "this", "that", "question",
+	"can", "you", "say", "what", "would", "should", "how", "why",
+	"explain", "describe", "regarding", "concerning", "answer",
+	"following", "is", "it",
+}
+
+// PrefixVariant returns the text with a deterministic chatter prefix.
+// Variant 0 is the original text; variants ≥ 1 get distinct prefixes of
+// 2-4 stopwords.
+func (r *Rephraser) PrefixVariant(text string, variant int) string {
+	if variant <= 0 {
+		return text
+	}
+	words := r.uniquePhrase(uint64(variant))
+	return strings.Join(words, " ") + " " + text
+}
+
+// Paraphrase rewrites text for its occ-th occurrence: a unique chatter
+// prefix, synonym substitution through the thesaurus, and swaps content-
+// word inflections. The result is textually unique per occ (for occ up to
+// len(chatterWords)^3 ≈ 13k) and embeds within a small distance of the
+// original, like the paper's verified-unique GPT-4o rephrasings.
+func (r *Rephraser) Paraphrase(text string, occ int, swaps int) string {
+	tokens := embed.Tokenize(text)
+	// Synonym substitution: zero embedding drift, surface change only.
+	if r.thesaurus != nil {
+		for i, tok := range tokens {
+			if syns := r.thesaurus.Synonyms(tok); len(syns) > 0 {
+				tokens[i] = syns[mix(r.seed, uint64(occ), uint64(i))%uint64(len(syns))]
+			}
+		}
+	}
+	// Inflect `swaps` content words: each adds ≈√2 embedding distance.
+	if swaps > 0 && len(tokens) > 0 {
+		content := contentIndices(tokens)
+		for s := 0; s < swaps && len(content) > 0; s++ {
+			pick := int(mix(r.seed, uint64(occ), uint64(1000+s)) % uint64(len(content)))
+			idx := content[pick]
+			digit := 1 + int(mix(r.seed, uint64(occ), uint64(2000+s))%9)
+			tokens[idx] += strconv.Itoa(digit)
+			content = append(content[:pick], content[pick+1:]...)
+		}
+	}
+	// Word-order rotation: free under the bag-of-words encoder, makes
+	// the surface form less templated.
+	if len(tokens) > 1 {
+		rot := int(mix(r.seed, uint64(occ), 3000) % uint64(len(tokens)))
+		tokens = append(tokens[rot:], tokens[:rot]...)
+	}
+	prefix := r.uniquePhrase(uint64(occ))
+	return strings.Join(append(prefix, tokens...), " ")
+}
+
+// uniquePhrase maps n to a distinct stopword phrase by writing n in base
+// len(chatterWords): at least 3 words, growing as needed, so any two
+// distinct n values yield distinct phrases — the textual-uniqueness
+// guarantee §4.2.2 requires of the rephrased workload.
+func (r *Rephraser) uniquePhrase(n uint64) []string {
+	base := uint64(len(chatterWords))
+	words := make([]string, 0, 4)
+	for i := 0; i < 3 || n > 0; i++ {
+		words = append(words, chatterWords[n%base])
+		n /= base
+	}
+	return words
+}
+
+// contentIndices returns the positions of non-stopword tokens.
+func contentIndices(tokens []string) []int {
+	stop := make(map[string]struct{}, len(chatterWords))
+	for _, w := range chatterWords {
+		stop[w] = struct{}{}
+	}
+	var out []int
+	for i, tok := range tokens {
+		if _, isStop := stop[tok]; !isStop {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// mix is a small deterministic integer hash (splitmix64 finalizer).
+func mix(a, b, c uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 + b*0xbf58476d1ce4e5b9 + c*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

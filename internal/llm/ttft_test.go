@@ -1,0 +1,76 @@
+package llm
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestShenTTFTCalibration(t *testing.T) {
+	m := ShenTTFT()
+	// No RAG: 495 ms.
+	got, err := m.Estimate(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 495*time.Millisecond {
+		t.Errorf("no-RAG TTFT = %v, want 495ms", got)
+	}
+	// With RAG: the paper cites 965 ms total, 71.8% of the 470 ms
+	// increase in the database lookup (≈ 337 ms) and the rest in
+	// prefill. Reconstruct with k=4 passages.
+	retrieval := 337 * time.Millisecond
+	got, err = m.Estimate(4, retrieval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 950*time.Millisecond || got > 980*time.Millisecond {
+		t.Errorf("RAG TTFT = %v, want ≈ 965ms", got)
+	}
+	share, err := m.RetrievalShare(4, retrieval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(share-0.35) > 0.03 { // 337 of ≈964 ms
+		t.Errorf("retrieval share = %.3f, want ≈ 0.35", share)
+	}
+}
+
+func TestTTFTCacheSaving(t *testing.T) {
+	// A cache hit turns the 337 ms lookup into microseconds; TTFT drops
+	// back to within prefill distance of the no-RAG floor.
+	m := ShenTTFT()
+	hit, err := m.Estimate(4, 5*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss, err := m.Estimate(4, 337*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saving := miss - hit
+	if saving < 330*time.Millisecond {
+		t.Errorf("cache hit saving = %v, want ≈ the whole lookup", saving)
+	}
+}
+
+func TestTTFTValidation(t *testing.T) {
+	m := ShenTTFT()
+	if _, err := m.Estimate(-1, 0); err == nil {
+		t.Error("negative docs should error")
+	}
+	if _, err := m.Estimate(0, -time.Second); err == nil {
+		t.Error("negative retrieval should error")
+	}
+	if _, err := m.RetrievalShare(-1, 0); err == nil {
+		t.Error("RetrievalShare must propagate errors")
+	}
+}
+
+func TestTTFTZeroModel(t *testing.T) {
+	var m TTFTModel
+	share, err := m.RetrievalShare(0, 0)
+	if err != nil || share != 0 {
+		t.Errorf("zero model share = %v, %v", share, err)
+	}
+}

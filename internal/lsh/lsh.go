@@ -1,0 +1,105 @@
+// Package lsh implements random-hyperplane locality-sensitive hashing
+// (Charikar, STOC '02), the bucketing scheme behind Proximity-LSH (§3.2 of
+// the paper). Each embedding is compared against L random hyperplanes
+// through the origin; the resulting L-bit sign pattern is the bucket key.
+// Vectors with a small angle collide with high probability, so each bucket
+// of the cache holds mutually similar queries.
+package lsh
+
+import (
+	"fmt"
+
+	"proximity/internal/vec"
+)
+
+// MaxBits bounds the signature width so bucket keys fit comfortably in a
+// uint32 map key. The paper evaluates L ∈ {4, 6, 8, 10}.
+const MaxBits = 30
+
+// Hasher computes L-bit signatures from a fixed set of random hyperplanes.
+// A Hasher is immutable after construction and safe for concurrent use.
+type Hasher struct {
+	planes []vec.Vector
+	dim    int
+}
+
+// NewHasher creates a hasher with bits hyperplanes for dim-dimensional
+// vectors. The hyperplane normals are drawn deterministically from the
+// seed so that every run of an experiment buckets identically.
+func NewHasher(dim, bits int, seed uint64) (*Hasher, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("lsh: dimension must be positive, got %d", dim)
+	}
+	if bits <= 0 || bits > MaxBits {
+		return nil, fmt.Errorf("lsh: bits must be in [1, %d], got %d", MaxBits, bits)
+	}
+	rng := vec.NewRand(seed)
+	planes := make([]vec.Vector, bits)
+	for i := range planes {
+		planes[i] = vec.RandomUnit(rng, dim)
+	}
+	return &Hasher{planes: planes, dim: dim}, nil
+}
+
+// Bits returns the signature width L.
+func (h *Hasher) Bits() int { return len(h.planes) }
+
+// Dim returns the expected vector dimensionality.
+func (h *Hasher) Dim() int { return h.dim }
+
+// NumBuckets returns 2^L, the theoretical number of buckets.
+func (h *Hasher) NumBuckets() int { return 1 << len(h.planes) }
+
+// Hash returns the signature h(q) = (q·r₁ ≥ 0, …, q·r_L ≥ 0) packed into a
+// uint32, bit i set when q·rᵢ ≥ 0. The cost is O(L·d), matching the
+// paper's lookup cost analysis. Hash panics on a dimension mismatch, which
+// indicates a programming error (mixing embedders); use CheckedHash at
+// trust boundaries.
+func (h *Hasher) Hash(q vec.Vector) uint32 {
+	if len(q) != h.dim {
+		panic(fmt.Sprintf("lsh: vector dim %d, hasher dim %d", len(q), h.dim))
+	}
+	var sig uint32
+	for i, p := range h.planes {
+		if vec.Dot(q, p) >= 0 {
+			sig |= 1 << uint(i)
+		}
+	}
+	return sig
+}
+
+// CheckedHash is the error-returning variant of Hash.
+func (h *Hasher) CheckedHash(q vec.Vector) (uint32, error) {
+	if len(q) != h.dim {
+		return 0, fmt.Errorf("lsh: vector dim %d, hasher dim %d: %w", len(q), h.dim, vec.ErrDimensionMismatch)
+	}
+	return h.Hash(q), nil
+}
+
+// HammingDistance counts differing signature bits; it approximates the
+// angle between the hashed vectors and is exposed for diagnostics and
+// multi-probe extensions.
+func HammingDistance(a, b uint32) int {
+	x := a ^ b
+	count := 0
+	for x != 0 {
+		x &= x - 1
+		count++
+	}
+	return count
+}
+
+// ProbeSequence returns the signature followed by its single-bit
+// perturbations, i.e. the buckets in increasing Hamming distance up to
+// distance 1. Multi-probe lookup is an optional extension (§6 future
+// work): checking adjacent buckets trades extra scans for a higher hit
+// rate on queries that straddle a hyperplane.
+func (h *Hasher) ProbeSequence(q vec.Vector) []uint32 {
+	base := h.Hash(q)
+	out := make([]uint32, 0, 1+h.Bits())
+	out = append(out, base)
+	for i := 0; i < h.Bits(); i++ {
+		out = append(out, base^(1<<uint(i)))
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+// Package rag wires the full retrieval-augmented generation pipeline of
+// Fig. 1: pre-embedded queries flow through the Proximity cache and
+// vector database (via core.CachedRetriever), retrieved passages feed the
+// simulated LLM, and every step is measured with the paper's metrics.
+package rag
+
+import (
+	"errors"
+	"fmt"
+
+	"proximity/internal/core"
+	"proximity/internal/dataset"
+	"proximity/internal/llm"
+	"proximity/internal/metrics"
+	"proximity/internal/workload"
+)
+
+// Pipeline executes workloads against one retrieval configuration.
+type Pipeline struct {
+	// Bench supplies questions, corpus topology, and gold labels.
+	Bench *dataset.Benchmark
+	// Retriever is the cache+database retrieval path.
+	Retriever *core.CachedRetriever
+	// Answerer simulates the generator; nil skips answer accounting
+	// (used by latency-only experiments).
+	Answerer *llm.Answerer
+	// MeasureRecall enables database k-recall measurement: on every
+	// cache hit the database is also consulted for the ground truth.
+	// This doubles database work, so the paper-style latency numbers
+	// should be read from runs with it disabled.
+	MeasureRecall bool
+}
+
+// Validate checks the pipeline wiring.
+func (p *Pipeline) Validate() error {
+	if p.Bench == nil {
+		return errors.New("rag: pipeline needs a benchmark")
+	}
+	if p.Retriever == nil {
+		return errors.New("rag: pipeline needs a retriever")
+	}
+	return nil
+}
+
+// Run executes the workload and returns the accumulated metrics.
+func (p *Pipeline) Run(w workload.Workload) (*metrics.Run, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	run := &metrics.Run{Name: w.Name}
+	for i, q := range w.Queries {
+		if q.Question < 0 || q.Question >= len(p.Bench.Questions) {
+			return nil, fmt.Errorf("rag: query %d references unknown question %d", i, q.Question)
+		}
+		res, err := p.Retriever.Retrieve(q.Embedding)
+		if err != nil {
+			return nil, fmt.Errorf("rag: query %d: %w", i, err)
+		}
+		run.RecordRetrieval(res.Hit, res.CacheLookup, res.Total())
+
+		if p.MeasureRecall {
+			recall, err := p.groundTruthRecall(q, res)
+			if err != nil {
+				return nil, fmt.Errorf("rag: query %d recall: %w", i, err)
+			}
+			run.RecordRecall(recall)
+		}
+
+		if p.Answerer != nil {
+			question := p.Bench.Questions[q.Question]
+			correct := p.Answerer.Correct(p.Bench.LLMQuestion(question), res.Docs, p.Bench.DocTopic)
+			run.RecordAnswer(correct)
+		}
+	}
+	return run, nil
+}
+
+// groundTruthRecall compares the documents served (from cache or
+// database) with what the database would return for this exact query.
+// Misses are exact by construction (recall 1) — no extra lookup needed.
+func (p *Pipeline) groundTruthRecall(q workload.Query, res core.Result) (float64, error) {
+	if !res.Hit {
+		return 1, nil
+	}
+	truth, err := p.Retriever.DB().Search(q.Embedding, p.Retriever.K())
+	if err != nil {
+		return 0, err
+	}
+	ids := make([]int, len(truth))
+	for i, s := range truth {
+		ids[i] = s.ID
+	}
+	return metrics.Recall(res.Docs, ids), nil
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Client is a typed HTTP client for the retrieval middleware.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets a middleware at base (e.g. "http://127.0.0.1:8080").
+func NewClient(base string) *Client {
+	return &Client{
+		base: base,
+		http: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Retrieve fetches documents for a pre-computed embedding.
+func (c *Client) Retrieve(embedding []float32) (RetrieveResponse, error) {
+	var out RetrieveResponse
+	err := c.post("/v1/retrieve", RetrieveRequest{Embedding: embedding}, &out)
+	return out, err
+}
+
+// Query fetches documents for a text query (embedded server-side).
+func (c *Client) Query(text string) (RetrieveResponse, error) {
+	var out RetrieveResponse
+	err := c.post("/v1/query", QueryRequest{Text: text}, &out)
+	return out, err
+}
+
+// Stats reads cache statistics.
+func (c *Client) Stats() (StatsResponse, error) {
+	var out StatsResponse
+	resp, err := c.http.Get(c.base + "/v1/stats")
+	if err != nil {
+		return out, fmt.Errorf("client: stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("client: stats: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("client: stats decode: %w", err)
+	}
+	return out, nil
+}
+
+// Flush clears the cache.
+func (c *Client) Flush() error {
+	resp, err := c.http.Post(c.base+"/v1/flush", "application/json", nil)
+	if err != nil {
+		return fmt.Errorf("client: flush: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("client: flush: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Healthy reports whether the middleware answers its health check.
+func (c *Client) Healthy() bool {
+	resp, err := c.http.Get(c.base + "/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func (c *Client) post(path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: marshal: %w", err)
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if decodeErr := json.NewDecoder(resp.Body).Decode(&e); decodeErr == nil && e.Error != "" {
+			return fmt.Errorf("client: %s: %s (status %d)", path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("client: %s: status %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: %s decode: %w", path, err)
+	}
+	return nil
+}

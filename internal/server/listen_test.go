@@ -1,0 +1,63 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestListenAndServeReadyCallback exercises the ephemeral-port startup
+// path the ragserver example uses.
+func TestListenAndServeReadyCallback(t *testing.T) {
+	srv, _, enc := newTestServer(t, true, false)
+	ready := make(chan string, 1)
+	errs := make(chan error, 1)
+	go func() {
+		errs <- srv.ListenAndServe("127.0.0.1:0", func(addr string) { ready <- addr })
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errs:
+		t.Fatalf("server failed to start: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not become ready")
+	}
+	client := NewClient(base)
+	if !client.Healthy() {
+		t.Fatal("health check failed over TCP")
+	}
+	res, err := client.Retrieve(enc.Embed("aspirin heart attack prevention dosage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Docs) == 0 {
+		t.Error("expected documents over TCP transport")
+	}
+	// The listener goroutine keeps running; the process exit reaps it
+	// (ListenAndServe has no shutdown hook by design — the middleware
+	// runs for the process lifetime, like the paper's deployment).
+}
+
+func TestListenAndServeBadAddress(t *testing.T) {
+	srv, _, _ := newTestServer(t, false, false)
+	if err := srv.ListenAndServe("256.0.0.1:99999", nil); err == nil {
+		t.Error("invalid address should error")
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	client := NewClient("http://127.0.0.1:1") // nothing listens here
+	if client.Healthy() {
+		t.Error("health check against a dead server should fail")
+	}
+	if _, err := client.Retrieve([]float32{1}); err == nil {
+		t.Error("retrieve against a dead server should error")
+	}
+	if _, err := client.Stats(); err == nil {
+		t.Error("stats against a dead server should error")
+	}
+	if err := client.Flush(); err == nil {
+		t.Error("flush against a dead server should error")
+	}
+}

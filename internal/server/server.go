@@ -1,0 +1,203 @@
+// Package server exposes the Proximity retrieval path as an HTTP
+// middleware service: the deployment shape the paper targets, where the
+// cache intercepts queries on their way to the vector database (Fig. 4).
+// The service accepts raw text (embedded server-side) or pre-computed
+// embeddings, and reports cache statistics for operational monitoring.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"proximity/internal/core"
+	"proximity/internal/embed"
+	"proximity/internal/vec"
+)
+
+// Documents resolves retrieved indices to their text, so responses can
+// carry the passages an LLM prompt needs. Optional.
+type Documents interface {
+	// Text returns the passage text for a document ID.
+	Text(id int) (string, error)
+}
+
+// Config wires a Server.
+type Config struct {
+	// Retriever is the cache+database retrieval path (required).
+	Retriever *core.CachedRetriever
+	// Embedder encodes text queries (required for /v1/query).
+	Embedder embed.Embedder
+	// Docs resolves passage text (optional).
+	Docs Documents
+}
+
+// Server is the HTTP middleware. Create with New, mount via Handler, or
+// run with ListenAndServe.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+}
+
+// New validates the config and builds the routes.
+func New(cfg Config) (*Server, error) {
+	if cfg.Retriever == nil {
+		return nil, errors.New("server: retriever is required")
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/retrieve", s.handleRetrieve)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/flush", s.handleFlush)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s, nil
+}
+
+// Handler returns the HTTP handler for mounting into a custom server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe starts serving on addr, returning the bound listener
+// address through the ready callback (useful with addr ":0").
+func (s *Server) ListenAndServe(addr string, ready func(boundAddr string)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen: %w", err)
+	}
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	srv := &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	return srv.Serve(ln)
+}
+
+// RetrieveRequest asks for the nearest documents to an embedding.
+type RetrieveRequest struct {
+	Embedding []float32 `json:"embedding"`
+}
+
+// QueryRequest asks for the nearest documents to a text query.
+type QueryRequest struct {
+	Text string `json:"text"`
+}
+
+// RetrieveResponse reports one retrieval.
+type RetrieveResponse struct {
+	Docs        []int    `json:"docs"`
+	Texts       []string `json:"texts,omitempty"`
+	Hit         bool     `json:"hit"`
+	CacheMicros float64  `json:"cacheLookupMicros"`
+	DBMillis    float64  `json:"dbServiceMillis"`
+}
+
+// StatsResponse is the /v1/stats payload.
+type StatsResponse struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	HitRate   float64 `json:"hitRate"`
+	Entries   int     `json:"entries"`
+	Capacity  int     `json:"capacity"`
+	Evictions int64   `json:"evictions"`
+}
+
+func (s *Server) handleRetrieve(w http.ResponseWriter, r *http.Request) {
+	var req RetrieveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.Embedding) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("embedding is required"))
+		return
+	}
+	s.retrieve(w, req.Embedding)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Embedder == nil {
+		httpError(w, http.StatusNotImplemented, errors.New("no embedder configured"))
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if req.Text == "" {
+		httpError(w, http.StatusBadRequest, errors.New("text is required"))
+		return
+	}
+	s.retrieve(w, s.cfg.Embedder.Embed(req.Text))
+}
+
+func (s *Server) retrieve(w http.ResponseWriter, embedding vec.Vector) {
+	res, err := s.cfg.Retriever.Retrieve(embedding)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := RetrieveResponse{
+		Docs:        res.Docs,
+		Hit:         res.Hit,
+		CacheMicros: float64(res.CacheLookup) / float64(time.Microsecond),
+		DBMillis:    float64(res.DBTime) / float64(time.Millisecond),
+	}
+	if s.cfg.Docs != nil {
+		resp.Texts = make([]string, 0, len(res.Docs))
+		for _, id := range res.Docs {
+			text, err := s.cfg.Docs.Text(id)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, fmt.Errorf("resolve doc %d: %w", id, err))
+				return
+			}
+			resp.Texts = append(resp.Texts, text)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	cache := s.cfg.Retriever.Cache()
+	if cache == nil {
+		writeJSON(w, http.StatusOK, StatsResponse{})
+		return
+	}
+	st := cache.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		HitRate:   st.HitRate(),
+		Entries:   cache.Len(),
+		Capacity:  cache.Capacity(),
+		Evictions: st.Evictions,
+	})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, _ *http.Request) {
+	if cache := s.cfg.Retriever.Cache(); cache != nil {
+		cache.Clear()
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Encoding fails only on marshal errors of our own types or on a
+	// closed connection; neither is recoverable here.
+	_ = json.NewEncoder(w).Encode(v)
+}

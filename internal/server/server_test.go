@@ -1,0 +1,231 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"proximity/internal/core"
+	"proximity/internal/embed"
+	"proximity/internal/vec"
+	"proximity/internal/vectordb"
+)
+
+// docTexts implements Documents over a string slice.
+type docTexts []string
+
+func (d docTexts) Text(id int) (string, error) {
+	if id < 0 || id >= len(d) {
+		return "", fmt.Errorf("doc %d out of range", id)
+	}
+	return d[id], nil
+}
+
+// newTestServer wires a 3-passage middleware with a flat cache.
+func newTestServer(t *testing.T, withEmbedder, withDocs bool) (*Server, []string, embed.Embedder) {
+	t.Helper()
+	const dim = 32
+	enc := embed.NewTokenHash(dim, 1)
+	passages := []string{
+		"aspirin heart attack prevention dosage",
+		"ibuprofen inflammation joint pain",
+		"melatonin sleep circadian rhythm",
+	}
+	db, err := vectordb.NewFlatIndex(dim, vec.L2Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range passages {
+		if err := db.Add(enc.Embed(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache, err := core.NewFlat(dim, core.Options{Capacity: 8, Tolerance: 1, Policy: core.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retr, err := core.NewCachedRetriever(cache, db, core.RetrieverOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Retriever: retr}
+	if withEmbedder {
+		cfg.Embedder = enc
+	}
+	if withDocs {
+		cfg.Docs = docTexts(passages)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, passages, enc
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing retriever should error")
+	}
+}
+
+func TestRetrieveRoundTrip(t *testing.T) {
+	srv, _, enc := newTestServer(t, true, true)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	if !client.Healthy() {
+		t.Fatal("health check failed")
+	}
+
+	emb := enc.Embed("aspirin heart attack prevention dosage")
+	first, err := client.Retrieve(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Hit {
+		t.Error("first retrieval should miss")
+	}
+	if len(first.Docs) != 2 || first.Docs[0] != 0 {
+		t.Errorf("docs = %v", first.Docs)
+	}
+	if len(first.Texts) != 2 || !strings.Contains(first.Texts[0], "aspirin") {
+		t.Errorf("texts = %v", first.Texts)
+	}
+
+	second, err := client.Retrieve(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Hit {
+		t.Error("repeat retrieval should hit the cache")
+	}
+
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hits != 1 || stats.Misses != 1 || stats.Entries != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.HitRate != 0.5 {
+		t.Errorf("hit rate = %v", stats.HitRate)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv, _, _ := newTestServer(t, true, false)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	res, err := client.Query("melatonin sleep circadian rhythm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Docs[0] != 2 {
+		t.Errorf("docs = %v, want melatonin passage first", res.Docs)
+	}
+	if len(res.Texts) != 0 {
+		t.Error("no Docs resolver configured; texts should be empty")
+	}
+	// Rephrased query should now hit.
+	res2, err := client.Query("sleep melatonin circadian rhythm please")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Hit {
+		t.Error("rephrased query should hit")
+	}
+}
+
+func TestQueryWithoutEmbedder(t *testing.T) {
+	srv, _, _ := newTestServer(t, false, false)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+	if _, err := client.Query("anything"); err == nil {
+		t.Error("query without server-side embedder should fail")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv, _, _ := newTestServer(t, true, false)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	if _, err := client.Retrieve(nil); err == nil {
+		t.Error("empty embedding should fail")
+	}
+	if _, err := client.Retrieve([]float32{1, 2}); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+	if _, err := client.Query(""); err == nil {
+		t.Error("empty text should fail")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	srv, _, enc := newTestServer(t, true, false)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	emb := enc.Embed("ibuprofen inflammation joint pain")
+	if _, err := client.Retrieve(emb); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Retrieve(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit {
+		t.Error("flushed cache should miss")
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != 1 { // re-inserted by the post-flush miss
+		t.Errorf("entries = %d", stats.Entries)
+	}
+}
+
+func TestNoCacheServer(t *testing.T) {
+	const dim = 8
+	enc := embed.NewTokenHash(dim, 2)
+	db, err := vectordb.NewFlatIndex(dim, vec.L2Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(enc.Embed("only passage")); err != nil {
+		t.Fatal(err)
+	}
+	retr, err := core.NewCachedRetriever(nil, db, core.RetrieverOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Retriever: retr, Embedder: enc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Capacity != 0 {
+		t.Error("no-cache server should report empty stats")
+	}
+	if err := client.Flush(); err != nil {
+		t.Fatal(err) // flush on no cache is a no-op, not an error
+	}
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram is a fixed-bucket linear histogram over [lo, hi). Samples
+// outside the range are clamped into the edge buckets so counts are never
+// silently dropped.
+type Histogram struct {
+	lo, hi  float64
+	buckets []int64
+	count   int64
+}
+
+// NewHistogram creates a histogram with n buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs >0 buckets, got %d", n)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram needs lo < hi, got [%v, %v)", lo, hi)
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int64, n)}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	idx := int(float64(len(h.buckets)) * (x - h.lo) / (h.hi - h.lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx]++
+	h.count++
+}
+
+// Count returns the total number of samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// Buckets returns a copy of the bucket counts.
+func (h *Histogram) Buckets() []int64 {
+	out := make([]int64, len(h.buckets))
+	copy(out, h.buckets)
+	return out
+}
+
+// LatencyRecorder accumulates durations and reports summary statistics.
+// The evaluation reports retrieval latency means (Fig. 6c, 7d) and the
+// cache-lookup distributions (Fig. 10, 11) through this type.
+type LatencyRecorder struct {
+	samples []time.Duration
+}
+
+// Record appends one latency sample.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.samples = append(r.samples, d)
+}
+
+// N returns the number of recorded samples.
+func (r *LatencyRecorder) N() int { return len(r.samples) }
+
+// Mean returns the mean latency, or 0 with no samples.
+func (r *LatencyRecorder) Mean() time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range r.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(r.samples))
+}
+
+// Percentile returns the p-th percentile latency, or 0 with no samples.
+func (r *LatencyRecorder) Percentile(p float64) time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(r.samples))
+	for i, s := range r.samples {
+		xs[i] = float64(s)
+	}
+	v, err := Percentile(xs, p)
+	if err != nil {
+		return 0
+	}
+	return time.Duration(v)
+}
+
+// Max returns the largest recorded latency.
+func (r *LatencyRecorder) Max() time.Duration {
+	var m time.Duration
+	for _, s := range r.samples {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Total returns the sum of all recorded latencies.
+func (r *LatencyRecorder) Total() time.Duration {
+	var sum time.Duration
+	for _, s := range r.samples {
+		sum += s
+	}
+	return sum
+}
+
+// GeometricMean returns exp(mean(log x)) of positive samples; used for
+// summarizing multiplicative speedups across experiments.
+func GeometricMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geometric mean needs positive samples, got %v", x)
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// Median is a convenience wrapper for the 50th percentile.
+func Median(xs []float64) (float64, error) { return Percentile(xs, 50) }
+
+// Sorted returns a sorted copy of xs.
+func Sorted(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,233 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.N() != 0 {
+		t.Error("zero-value Welford should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d, want 8", w.N())
+	}
+	if got := w.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Known dataset: population variance 4, sample variance 32/7.
+	if got := w.Variance(); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+	if got := w.Stddev(); math.Abs(got-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("Stddev = %v", got)
+	}
+}
+
+func TestWelfordSingleSample(t *testing.T) {
+	var w Welford
+	w.Add(3.5)
+	if w.Mean() != 3.5 || w.Variance() != 0 {
+		t.Errorf("single sample: mean=%v var=%v", w.Mean(), w.Variance())
+	}
+}
+
+func TestMean(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Mean(nil) should return ErrEmpty")
+	}
+	got, err := Mean([]float64{1, 2, 3})
+	if err != nil || got != 2 {
+		t.Errorf("Mean = %v, %v", got, err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{p: 0, want: 10},
+		{p: 100, want: 50},
+		{p: 50, want: 30},
+		{p: 25, want: 20},
+		{p: 90, want: 46},
+		{p: -5, want: 10},
+		{p: 150, want: 50},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", tt.p, err)
+		}
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Error("Percentile(nil) should return ErrEmpty")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	// Exact line y = 3 + 2x.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9, 11}
+	slope, intercept, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-9 || math.Abs(intercept-3) > 1e-9 {
+		t.Errorf("fit = %v, %v; want 2, 3", slope, intercept)
+	}
+	if r2 := RSquared(xs, ys, slope, intercept); math.Abs(r2-1) > 1e-12 {
+		t.Errorf("R² = %v, want 1", r2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, err := LinearFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Error("single point should return ErrEmpty")
+	}
+	if _, _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("degenerate x should error")
+	}
+}
+
+// Property: Welford matches the two-pass mean/variance on random data.
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, x := range xs {
+			w.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(len(xs)-1)
+		scale := 1 + math.Abs(mean) + variance
+		return math.Abs(w.Mean()-mean) < 1e-6*scale && math.Abs(w.Variance()-variance) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99, -3, 42} {
+		h.Add(x)
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count = %d, want 7", h.Count())
+	}
+	want := []int64{3, 1, 1, 0, 2} // -3 clamps into bucket 0, 42 into bucket 4
+	got := h.Buckets()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Bucket(0) != 3 {
+		t.Errorf("Bucket(0) = %d", h.Bucket(0))
+	}
+}
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("0 buckets should error")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("lo == hi should error")
+	}
+	if _, err := NewHistogram(6, 5, 3); err == nil {
+		t.Error("lo > hi should error")
+	}
+}
+
+func TestLatencyRecorder(t *testing.T) {
+	var r LatencyRecorder
+	if r.Mean() != 0 || r.Percentile(99) != 0 || r.Max() != 0 || r.N() != 0 {
+		t.Error("empty recorder should report zeros")
+	}
+	for _, d := range []time.Duration{time.Millisecond, 3 * time.Millisecond, 2 * time.Millisecond} {
+		r.Record(d)
+	}
+	if r.N() != 3 {
+		t.Errorf("N = %d", r.N())
+	}
+	if got := r.Mean(); got != 2*time.Millisecond {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := r.Max(); got != 3*time.Millisecond {
+		t.Errorf("Max = %v", got)
+	}
+	if got := r.Total(); got != 6*time.Millisecond {
+		t.Errorf("Total = %v", got)
+	}
+	if got := r.Percentile(50); got != 2*time.Millisecond {
+		t.Errorf("P50 = %v", got)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	got, err := GeometricMean([]float64{1, 100})
+	if err != nil || math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeometricMean = %v, %v", got, err)
+	}
+	if _, err := GeometricMean(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("empty should return ErrEmpty")
+	}
+	if _, err := GeometricMean([]float64{1, -1}); err == nil {
+		t.Error("negative sample should error")
+	}
+}
+
+func TestMedianAndSorted(t *testing.T) {
+	m, err := Median([]float64{5, 1, 3})
+	if err != nil || m != 3 {
+		t.Errorf("Median = %v, %v", m, err)
+	}
+	in := []float64{3, 1, 2}
+	out := Sorted(in)
+	if out[0] != 1 || out[2] != 3 || in[0] != 3 {
+		t.Errorf("Sorted mutated input or wrong order: in=%v out=%v", in, out)
+	}
+}

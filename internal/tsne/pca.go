@@ -1,0 +1,134 @@
+// Package tsne implements the dimensionality-reduction pipeline of the
+// paper's Fig. 3: principal component analysis as a preprocessing step
+// followed by t-distributed stochastic neighbor embedding, used to
+// visualize that syntactically different queries cluster by semantic
+// content in embedding space (§2.3).
+package tsne
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"proximity/internal/vec"
+)
+
+// PCA projects the data onto its top `components` principal directions
+// using power iteration with deflation. Input vectors share one
+// dimensionality d; the output has one row per input with `components`
+// values. Complexity is O(iters · n · d) per component, with no d×d
+// matrix materialized, so it is comfortable at d = 768.
+func PCA(data []vec.Vector, components int, seed uint64) ([][]float64, error) {
+	if len(data) == 0 {
+		return nil, errors.New("tsne: PCA needs data")
+	}
+	d := len(data[0])
+	for i, v := range data {
+		if len(v) != d {
+			return nil, fmt.Errorf("tsne: vector %d has dim %d, expected %d: %w",
+				i, len(v), d, vec.ErrDimensionMismatch)
+		}
+	}
+	if components <= 0 || components > d {
+		return nil, fmt.Errorf("tsne: components must be in [1, %d], got %d", d, components)
+	}
+
+	// Center the data.
+	mean := make([]float64, d)
+	for _, v := range data {
+		for j, x := range v {
+			mean[j] += float64(x)
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(data))
+	}
+	centered := make([][]float64, len(data))
+	for i, v := range data {
+		row := make([]float64, d)
+		for j, x := range v {
+			row[j] = float64(x) - mean[j]
+		}
+		centered[i] = row
+	}
+
+	rng := vec.NewRand(seed)
+	basis := make([][]float64, 0, components)
+	const iters = 60
+	for c := 0; c < components; c++ {
+		// Random start, orthogonalized against found components.
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		for it := 0; it < iters; it++ {
+			orthogonalize(v, basis)
+			normalize(v)
+			// v ← Cov·v computed as Σ_i x_i (x_i · v).
+			next := make([]float64, d)
+			for _, row := range centered {
+				dot := 0.0
+				for j := range row {
+					dot += row[j] * v[j]
+				}
+				for j := range row {
+					next[j] += row[j] * dot
+				}
+			}
+			v = next
+		}
+		orthogonalize(v, basis)
+		if norm(v) < 1e-12 {
+			// Degenerate direction (rank-deficient data): keep a
+			// zero component rather than failing.
+			v = make([]float64, d)
+		} else {
+			normalize(v)
+		}
+		basis = append(basis, v)
+	}
+
+	out := make([][]float64, len(data))
+	for i, row := range centered {
+		proj := make([]float64, components)
+		for c, b := range basis {
+			dot := 0.0
+			for j := range row {
+				dot += row[j] * b[j]
+			}
+			proj[c] = dot
+		}
+		out[i] = proj
+	}
+	return out, nil
+}
+
+func orthogonalize(v []float64, basis [][]float64) {
+	for _, b := range basis {
+		dot := 0.0
+		for j := range v {
+			dot += v[j] * b[j]
+		}
+		for j := range v {
+			v[j] -= dot * b[j]
+		}
+	}
+}
+
+func norm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(v []float64) {
+	n := norm(v)
+	if n == 0 {
+		return
+	}
+	for j := range v {
+		v[j] /= n
+	}
+}

@@ -1,0 +1,224 @@
+package tsne
+
+import (
+	"math"
+	"testing"
+
+	"proximity/internal/vec"
+)
+
+func TestPCAValidation(t *testing.T) {
+	if _, err := PCA(nil, 2, 1); err == nil {
+		t.Error("empty data should error")
+	}
+	data := []vec.Vector{{1, 2}, {3, 4}}
+	if _, err := PCA(data, 0, 1); err == nil {
+		t.Error("0 components should error")
+	}
+	if _, err := PCA(data, 3, 1); err == nil {
+		t.Error("components > dim should error")
+	}
+	if _, err := PCA([]vec.Vector{{1, 2}, {1}}, 1, 1); err == nil {
+		t.Error("ragged input should error")
+	}
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Points spread along (1, 1, 0)/√2 with small noise: the first
+	// component must align with that axis.
+	rng := vec.NewRand(3)
+	data := make([]vec.Vector, 200)
+	for i := range data {
+		tval := float32(rng.NormFloat64() * 10)
+		data[i] = vec.Vector{
+			tval + float32(rng.NormFloat64())*0.1,
+			tval + float32(rng.NormFloat64())*0.1,
+			float32(rng.NormFloat64()) * 0.1,
+		}
+	}
+	proj, err := PCA(data, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj) != 200 || len(proj[0]) != 2 {
+		t.Fatalf("projection shape wrong: %d×%d", len(proj), len(proj[0]))
+	}
+	// Variance along component 1 must dominate component 2.
+	var v1, v2 float64
+	for _, p := range proj {
+		v1 += p[0] * p[0]
+		v2 += p[1] * p[1]
+	}
+	if v1 < 50*v2 {
+		t.Errorf("first component variance %v should dominate second %v", v1, v2)
+	}
+}
+
+func TestPCAProjectionPreservesClusterSeparation(t *testing.T) {
+	rng := vec.NewRand(5)
+	centerA := vec.Scale(vec.RandomUnit(rng, 64), 10)
+	centerB := vec.Scale(vec.RandomUnit(rng, 64), 10)
+	var data []vec.Vector
+	var labels []int
+	for i := 0; i < 60; i++ {
+		data = append(data, vec.GaussianAround(rng, centerA, 0.2))
+		labels = append(labels, 0)
+		data = append(data, vec.GaussianAround(rng, centerB, 0.2))
+		labels = append(labels, 1)
+	}
+	proj, err := PCA(data, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Project to [2]float64 and check clusters separate.
+	pts := make([][2]float64, len(proj))
+	for i, p := range proj {
+		pts[i] = [2]float64{p[0], p[1]}
+	}
+	score, err := ClusterScore(pts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 2 {
+		t.Errorf("PCA cluster score = %v, want clear separation", score)
+	}
+}
+
+func TestTSNEValidation(t *testing.T) {
+	if _, err := Embed(nil, Config{}); err == nil {
+		t.Error("empty input should error")
+	}
+	small := [][]float64{{1}, {2}, {3}}
+	if _, err := Embed(small, Config{}); err == nil {
+		t.Error("fewer than 4 points should error")
+	}
+	ragged := [][]float64{{1, 2}, {1}, {1, 2}, {1, 2}}
+	if _, err := Embed(ragged, Config{}); err == nil {
+		t.Error("ragged input should error")
+	}
+}
+
+func TestTSNESeparatesClusters(t *testing.T) {
+	// Two well-separated Gaussian blobs in 10-D must stay separated in
+	// the 2-D embedding — the property Fig. 3 relies on.
+	rng := vec.NewRand(7)
+	var data [][]float64
+	var labels []int
+	for i := 0; i < 40; i++ {
+		rowA := make([]float64, 10)
+		rowB := make([]float64, 10)
+		for j := range rowA {
+			rowA[j] = rng.NormFloat64() * 0.3
+			rowB[j] = 8 + rng.NormFloat64()*0.3
+		}
+		data = append(data, rowA, rowB)
+		labels = append(labels, 0, 1)
+	}
+	pts, err := Embed(data, Config{Iterations: 150, Seed: 8, Perplexity: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(data) {
+		t.Fatalf("output length %d", len(pts))
+	}
+	score, err := ClusterScore(pts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 2 {
+		t.Errorf("t-SNE cluster score = %v, want ≥ 2", score)
+	}
+}
+
+func TestTSNEDeterminism(t *testing.T) {
+	rng := vec.NewRand(9)
+	data := make([][]float64, 20)
+	for i := range data {
+		data[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	a, err := Embed(data, Config{Iterations: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Embed(data, Config{Iterations: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must embed identically")
+		}
+	}
+}
+
+func TestGridDensity(t *testing.T) {
+	pts := [][2]float64{{0, 0}, {1, 1}, {1, 1}, {0.49, 0.49}}
+	grid, err := GridDensity(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, row := range grid {
+		for _, c := range row {
+			total += c
+		}
+	}
+	if total != 4 {
+		t.Errorf("grid total = %d, want 4", total)
+	}
+	if grid[0][0] != 2 { // origin + (0.49, 0.49)
+		t.Errorf("grid[0][0] = %d, want 2", grid[0][0])
+	}
+	if grid[1][1] != 2 { // the two (1,1) points clamp into the last cell
+		t.Errorf("grid[1][1] = %d, want 2", grid[1][1])
+	}
+}
+
+func TestGridDensityEdgeCases(t *testing.T) {
+	if _, err := GridDensity(nil, 10); err == nil {
+		t.Error("no points should error")
+	}
+	if _, err := GridDensity([][2]float64{{0, 0}}, 0); err == nil {
+		t.Error("0 cells should error")
+	}
+	// Degenerate bounding box (all identical points).
+	grid, err := GridDensity([][2]float64{{3, 3}, {3, 3}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, row := range grid {
+		for _, c := range row {
+			total += c
+		}
+	}
+	if total != 2 {
+		t.Errorf("degenerate grid total = %d", total)
+	}
+}
+
+func TestClusterScoreValidation(t *testing.T) {
+	if _, err := ClusterScore(nil, nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ClusterScore([][2]float64{{0, 0}}, []int{0, 1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := ClusterScore([][2]float64{{0, 0}, {1, 1}}, []int{0, 0}); err == nil {
+		t.Error("single label should error (no inter pairs)")
+	}
+}
+
+func TestClusterScoreKnownValue(t *testing.T) {
+	// Two pairs at distance 1 within labels, distance ~5 across.
+	pts := [][2]float64{{0, 0}, {1, 0}, {5, 0}, {6, 0}}
+	labels := []int{0, 0, 1, 1}
+	score, err := ClusterScore(pts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// intra = 1, inter = (5+6+4+5)/4 = 5.
+	if math.Abs(score-5) > 1e-9 {
+		t.Errorf("score = %v, want 5", score)
+	}
+}

@@ -1,0 +1,66 @@
+package vec
+
+import "fmt"
+
+// Metric identifies a distance function. All metrics are normalized to the
+// "smaller is closer" convention so that cache tolerance comparisons and
+// top-k selection are metric-agnostic, mirroring the paper's requirement
+// that the cache adopt the same distance function as the underlying vector
+// database (§3.1).
+type Metric int
+
+const (
+	// L2Distance is the Euclidean distance, the metric used in the
+	// paper's evaluation (MedCPT and DPR embeddings are compared with
+	// L2 in FAISS).
+	L2Distance Metric = iota + 1
+	// CosineDistance is 1 - cosine similarity.
+	CosineDistance
+	// InnerProduct is the negated dot product.
+	InnerProduct
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case L2Distance:
+		return "l2"
+	case CosineDistance:
+		return "cosine"
+	case InnerProduct:
+		return "ip"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// ParseMetric converts a CLI/string representation into a Metric.
+func ParseMetric(s string) (Metric, error) {
+	switch s {
+	case "l2", "euclidean":
+		return L2Distance, nil
+	case "cosine":
+		return CosineDistance, nil
+	case "ip", "dot", "inner":
+		return InnerProduct, nil
+	default:
+		return 0, fmt.Errorf("vec: unknown metric %q", s)
+	}
+}
+
+// DistanceFunc is a distance kernel under the smaller-is-closer convention.
+type DistanceFunc func(a, b Vector) float32
+
+// Func returns the kernel implementing the metric.
+func (m Metric) Func() DistanceFunc {
+	switch m {
+	case L2Distance:
+		return L2
+	case CosineDistance:
+		return Cosine
+	case InnerProduct:
+		return NegDot
+	default:
+		panic(fmt.Sprintf("vec: unknown metric %d", int(m)))
+	}
+}

@@ -1,0 +1,46 @@
+package vec
+
+import "testing"
+
+// The unchecked kernels fail loudly on dimension mismatches, which always
+// indicate a programming error (mixing embedders or corpora). This file
+// pins that contract.
+
+func expectPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s should panic on dimension mismatch", name)
+		}
+	}()
+	fn()
+}
+
+func TestKernelPanics(t *testing.T) {
+	a, b := Vector{1, 2}, Vector{1}
+	expectPanic(t, "Dot", func() { Dot(a, b) })
+	expectPanic(t, "Add", func() { Add(a, b) })
+	expectPanic(t, "AXPY", func() { AXPY(a, 1, b) })
+}
+
+func TestZeroLengthVectorsAreFine(t *testing.T) {
+	// Degenerate but legal: empty vectors agree on dimension 0.
+	if L2Squared(Vector{}, Vector{}) != 0 {
+		t.Error("empty L2Squared should be 0")
+	}
+	if Dot(Vector{}, Vector{}) != 0 {
+		t.Error("empty Dot should be 0")
+	}
+	if len(Add(Vector{}, Vector{})) != 0 {
+		t.Error("empty Add should yield empty")
+	}
+}
+
+func TestScaleNil(t *testing.T) {
+	if out := Scale(nil, 2); out != nil {
+		t.Error("Scale(nil) should return nil")
+	}
+	if out := Clone(nil); len(out) != 0 {
+		t.Error("Clone(nil) should be empty")
+	}
+}

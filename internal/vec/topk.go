@@ -1,0 +1,110 @@
+package vec
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Scored pairs an item identifier with its distance to some query.
+type Scored struct {
+	ID   int
+	Dist float32
+}
+
+// TopK selects the k closest items from the given scored slice, returned
+// sorted ascending by distance (ties broken by ascending ID so results are
+// deterministic across runs). The input slice is not modified. If k exceeds
+// len(items), all items are returned.
+//
+// The selection uses a bounded max-heap: O(n log k), which matters for the
+// over-fetching path where the vector database retrieves ρ·k neighbors
+// (§3.3.4) and the cache re-ranks them per hit.
+func TopK(items []Scored, k int) []Scored {
+	if k <= 0 {
+		return nil
+	}
+	if k >= len(items) {
+		out := make([]Scored, len(items))
+		copy(out, items)
+		sortScored(out)
+		return out
+	}
+	h := make(maxHeap, 0, k)
+	for _, it := range items {
+		if len(h) < k {
+			heap.Push(&h, it)
+			continue
+		}
+		if less(it, h[0]) {
+			h[0] = it
+			heap.Fix(&h, 0)
+		}
+	}
+	out := []Scored(h)
+	sortScored(out)
+	return out
+}
+
+// TopKByDistance scores every candidate vector against the query with the
+// given distance function and returns the k closest. IDs are the candidate
+// indices. This is the brute-force NNS kernel used by the flat index.
+func TopKByDistance(query Vector, candidates []Vector, k int, dist DistanceFunc) []Scored {
+	if k <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	h := make(maxHeap, 0, k)
+	for i, c := range candidates {
+		d := dist(query, c)
+		if len(h) < k {
+			heap.Push(&h, Scored{ID: i, Dist: d})
+			continue
+		}
+		if d < h[0].Dist || (d == h[0].Dist && i < h[0].ID) {
+			h[0] = Scored{ID: i, Dist: d}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := []Scored(h)
+	sortScored(out)
+	return out
+}
+
+// less orders scored items ascending by distance then ID.
+func less(a, b Scored) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+func sortScored(s []Scored) {
+	sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+}
+
+// maxHeap is a max-heap by (distance, ID) so the root is the worst
+// retained candidate.
+type maxHeap []Scored
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return less(h[j], h[i]) }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(Scored)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// IDs projects the ID column of a scored slice.
+func IDs(s []Scored) []int {
+	out := make([]int, len(s))
+	for i, it := range s {
+		out[i] = it.ID
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+// Package vec provides the dense-vector primitives used throughout the
+// Proximity reproduction: distance kernels, norms, top-k selection, and
+// deterministic random vector generation.
+//
+// The paper's Rust implementation uses portable-simd for the Euclidean
+// distance computation on the cache's hot path (Algorithm 1, line 2). The
+// idiomatic Go equivalent is a 4-way unrolled scalar loop with
+// bounds-check elimination, which the compiler auto-vectorizes on amd64;
+// see BenchmarkVecKernels in the repository root for the measured gap
+// against the naive loop.
+package vec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Vector is a dense embedding vector. All kernels in this package treat
+// vectors as immutable unless the doc comment says otherwise.
+type Vector = []float32
+
+// ErrDimensionMismatch is returned by checked kernel wrappers when the two
+// operands have different lengths.
+var ErrDimensionMismatch = errors.New("vec: dimension mismatch")
+
+// L2Squared returns the squared Euclidean distance between a and b.
+// It panics if the lengths differ; use CheckedL2Squared at trust
+// boundaries. This is the hot kernel of the Proximity cache: a FLAT cache
+// lookup calls it once per cached entry.
+func L2Squared(a, b Vector) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: L2Squared dimension mismatch: %d vs %d", len(a), len(b)))
+	}
+	var s0, s1, s2, s3 float32
+	i := 0
+	// 4-way unrolled main loop. The b[:len(a)] re-slice lets the compiler
+	// drop bounds checks inside the loop body.
+	bb := b[:len(a)]
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - bb[i]
+		d1 := a[i+1] - bb[i+1]
+		d2 := a[i+2] - bb[i+2]
+		d3 := a[i+3] - bb[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - bb[i]
+		s0 += d * d
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// L2 returns the Euclidean distance between a and b.
+func L2(a, b Vector) float32 {
+	return float32(math.Sqrt(float64(L2Squared(a, b))))
+}
+
+// CheckedL2 is the error-returning variant of L2 for inputs that cross a
+// trust boundary (e.g. the HTTP middleware).
+func CheckedL2(a, b Vector) (float32, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(a), len(b))
+	}
+	return L2(a, b), nil
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b Vector) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Dot dimension mismatch: %d vs %d", len(a), len(b)))
+	}
+	var s0, s1, s2, s3 float32
+	i := 0
+	bb := b[:len(a)]
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * bb[i]
+		s1 += a[i+1] * bb[i+1]
+		s2 += a[i+2] * bb[i+2]
+		s3 += a[i+3] * bb[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * bb[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a Vector) float32 {
+	return float32(math.Sqrt(float64(Dot(a, a))))
+}
+
+// Cosine returns the cosine distance (1 - cosine similarity) between a and
+// b. Zero vectors are treated as maximally distant (distance 1) rather
+// than producing NaN, so the cache never caches-hit on garbage input.
+func Cosine(a, b Vector) float32 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	sim := Dot(a, b) / (na * nb)
+	// Clamp for float error so downstream τ comparisons are well behaved.
+	if sim > 1 {
+		sim = 1
+	} else if sim < -1 {
+		sim = -1
+	}
+	return 1 - sim
+}
+
+// NegDot returns the negated inner product, so that all three supported
+// metrics are "smaller is closer".
+func NegDot(a, b Vector) float32 { return -Dot(a, b) }
+
+// Add returns a new vector a+b.
+func Add(a, b Vector) Vector {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Add dimension mismatch: %d vs %d", len(a), len(b)))
+	}
+	out := make(Vector, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// AXPY computes dst += alpha*x in place.
+func AXPY(dst Vector, alpha float32, x Vector) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("vec: AXPY dimension mismatch: %d vs %d", len(dst), len(x)))
+	}
+	xx := x[:len(dst)]
+	for i := range dst {
+		dst[i] += alpha * xx[i]
+	}
+}
+
+// Scale multiplies v by alpha in place and returns v for chaining.
+func Scale(v Vector, alpha float32) Vector {
+	for i := range v {
+		v[i] *= alpha
+	}
+	return v
+}
+
+// Normalize scales v in place to unit norm and returns v. A zero vector is
+// returned unchanged.
+func Normalize(v Vector) Vector {
+	n := Norm(v)
+	if n == 0 {
+		return v
+	}
+	return Scale(v, 1/n)
+}
+
+// Clone returns a copy of v. Cache and index code clones at ownership
+// boundaries so callers may reuse their buffers.
+func Clone(v Vector) Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Equal reports whether a and b are identical element-wise.
+func Equal(a, b Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,153 @@
+// Package proximity is the public API of the Proximity reproduction: an
+// approximate key-value cache that accelerates retrieval-augmented
+// generation (RAG) by reusing the documents retrieved for similar past
+// queries ("Leveraging Approximate Caching for Faster Retrieval-Augmented
+// Generation", MIDDLEWARE '25).
+//
+// The cache sits between the RAG retriever and the vector database. Keys
+// are query embeddings; values are retrieved document indices. A lookup
+// hits when a cached key lies within a similarity tolerance τ of the
+// incoming query, skipping the expensive nearest-neighbor search:
+//
+//	db, _ := proximity.NewFlatIndex(768, proximity.L2Distance)
+//	db.Add(passageEmbeddings...)
+//
+//	cache, _ := proximity.NewLSHCache(768, proximity.LSHOptions{
+//		Bits: 8, Tolerance: 5, Policy: proximity.LRU,
+//	})
+//	retriever, _ := proximity.NewRetriever(cache, db, proximity.RetrieverOptions{K: 4})
+//
+//	result, _ := retriever.Retrieve(queryEmbedding)
+//	// result.Docs feed the LLM prompt; result.Hit tells whether the
+//	// database was bypassed.
+//
+// Two cache variants are provided: the FLAT cache scans all entries
+// (exact, O(c·d) per lookup) and the LSH cache scans one random-
+// hyperplane bucket (O((L+b)·d), independent of capacity). See the
+// examples directory for complete programs and DESIGN.md for the paper
+// mapping.
+package proximity
+
+import (
+	"io"
+
+	"proximity/internal/core"
+	"proximity/internal/embed"
+	"proximity/internal/vec"
+	"proximity/internal/vectordb"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the supported public surface.
+type (
+	// Vector is a dense embedding vector.
+	Vector = vec.Vector
+	// Scored pairs a document ID with its distance to a query.
+	Scored = vec.Scored
+	// Metric identifies a distance function.
+	Metric = vec.Metric
+
+	// Cache is the approximate key-value cache interface.
+	Cache = core.Cache
+	// Options configures a FLAT cache.
+	Options = core.Options
+	// LSHOptions configures an LSH cache.
+	LSHOptions = core.LSHOptions
+	// Policy selects the eviction strategy.
+	Policy = core.Policy
+	// Stats are cumulative cache counters.
+	Stats = core.Stats
+	// Retriever is the cache-in-front-of-database retrieval path.
+	Retriever = core.CachedRetriever
+	// RetrieverOptions configures a Retriever.
+	RetrieverOptions = core.RetrieverOptions
+	// Result reports one retrieval.
+	Result = core.Result
+
+	// DB is the vector-database search interface the cache fronts.
+	DB = vectordb.DB
+	// VectorSource resolves document IDs to stored vectors (needed
+	// for re-ranking).
+	VectorSource = vectordb.VectorSource
+	// FlatIndex is an exact in-memory nearest-neighbor index.
+	FlatIndex = vectordb.FlatIndex
+	// LatencyModel simulates production-scale database service times.
+	LatencyModel = vectordb.LatencyModel
+
+	// Embedder converts text into vectors.
+	Embedder = embed.Embedder
+	// TokenHashEmbedder is the deterministic offline encoder.
+	TokenHashEmbedder = embed.TokenHash
+	// Thesaurus supplies synonym knowledge to the encoder.
+	Thesaurus = embed.Thesaurus
+)
+
+// Eviction policies.
+const (
+	// FIFO evicts the oldest inserted entry.
+	FIFO = core.FIFO
+	// LRU evicts the least recently used entry.
+	LRU = core.LRU
+)
+
+// Distance metrics.
+const (
+	// L2Distance is the Euclidean distance (the paper's metric).
+	L2Distance = vec.L2Distance
+	// CosineDistance is 1 - cosine similarity.
+	CosineDistance = vec.CosineDistance
+	// InnerProduct is the negated dot product.
+	InnerProduct = vec.InnerProduct
+)
+
+// NewFlatCache creates a Proximity-FLAT cache for dim-dimensional query
+// embeddings (linear scan, exact within the cached set).
+func NewFlatCache(dim int, opts Options) (*core.FlatCache, error) {
+	return core.NewFlat(dim, opts)
+}
+
+// NewLSHCache creates a Proximity-LSH cache (random-hyperplane bucketed,
+// constant-time lookups).
+func NewLSHCache(dim int, opts LSHOptions) (*core.LSHCache, error) {
+	return core.NewLSH(dim, opts)
+}
+
+// NewRetriever wires a cache in front of a vector database. cache may be
+// nil for a no-cache baseline.
+func NewRetriever(cache Cache, db DB, opts RetrieverOptions) (*Retriever, error) {
+	return core.NewCachedRetriever(cache, db, opts)
+}
+
+// LoadFlatCache restores a FLAT cache from a snapshot previously written
+// with its WriteSnapshot method (warm-restart support).
+func LoadFlatCache(r io.Reader) (*core.FlatCache, error) {
+	return core.ReadFlatSnapshot(r)
+}
+
+// LoadLSHCache restores an LSH cache from a snapshot previously written
+// with its WriteSnapshot method.
+func LoadLSHCache(r io.Reader) (*core.LSHCache, error) {
+	return core.ReadLSHSnapshot(r)
+}
+
+// NewFlatIndex creates an exact in-memory vector index.
+func NewFlatIndex(dim int, metric Metric) (*FlatIndex, error) {
+	return vectordb.NewFlatIndex(dim, metric)
+}
+
+// NewEmbedder creates the deterministic token-hash encoder. thesaurus may
+// be nil. Production deployments replace this with a neural encoder; any
+// Embedder implementation works.
+func NewEmbedder(dim int, seed uint64, thesaurus *Thesaurus) *TokenHashEmbedder {
+	if thesaurus == nil {
+		return embed.NewTokenHash(dim, seed)
+	}
+	return embed.NewTokenHash(dim, seed, embed.WithThesaurus(thesaurus))
+}
+
+// NewThesaurus creates an empty synonym table.
+func NewThesaurus() *Thesaurus { return embed.NewThesaurus() }
+
+// MedicalThesaurus returns a small built-in biomedical synonym table used
+// by the examples.
+func MedicalThesaurus() *Thesaurus { return embed.EnglishMedical() }

@@ -1,0 +1,76 @@
+package proximity
+
+import "testing"
+
+// TestPublicAPISurface exercises the facade end to end the way the
+// package documentation advertises it.
+func TestPublicAPISurface(t *testing.T) {
+	const dim = 64
+	th := NewThesaurus()
+	th.Register("car", "automobile")
+	enc := NewEmbedder(dim, 1, th)
+
+	db, err := NewFlatIndex(dim, L2Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	passages := []string{
+		"electric car battery range highway",
+		"diesel truck cargo logistics freight",
+		"bicycle commuting urban lanes helmet",
+	}
+	for _, p := range passages {
+		if err := db.Add(enc.Embed(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cache, err := NewFlatCache(dim, Options{Capacity: 8, Tolerance: 1, Policy: LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retr, err := NewRetriever(cache, db, RetrieverOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := retr.Retrieve(enc.Embed("electric car battery range highway"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Hit || first.Docs[0] != 0 {
+		t.Fatalf("first retrieval = %+v, want miss returning doc 0", first)
+	}
+	// Synonym rephrasing should hit the cache.
+	second, err := retr.Retrieve(enc.Embed("electric automobile battery range highway"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Hit || second.Docs[0] != 0 {
+		t.Fatalf("synonym retrieval = %+v, want cache hit for doc 0", second)
+	}
+	if got := cache.Stats(); got.Hits != 1 || got.Misses != 1 {
+		t.Errorf("stats = %+v", got)
+	}
+}
+
+func TestPublicLSHCache(t *testing.T) {
+	cache, err := NewLSHCache(32, LSHOptions{Bits: 6, Tolerance: 0.5, Policy: FIFO, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEmbedder(32, 2, nil)
+	v := enc.Embed("alpha beta gamma")
+	cache.Put(v, []int{1, 2})
+	docs, ok := cache.Get(v)
+	if !ok || len(docs) != 2 {
+		t.Fatalf("Get = %v, %v", docs, ok)
+	}
+}
+
+func TestMedicalThesaurus(t *testing.T) {
+	th := MedicalThesaurus()
+	if th.Canonical("therapy") != "treatment" {
+		t.Error("built-in thesaurus should map therapy to treatment")
+	}
+}
