@@ -6,12 +6,14 @@
 package proximity_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
 	"proximity/internal/core"
 	"proximity/internal/experiments"
 	"proximity/internal/hnsw"
+	"proximity/internal/shard"
 	"proximity/internal/vamana"
 	"proximity/internal/vec"
 	"proximity/internal/vectordb"
@@ -209,6 +211,53 @@ func BenchmarkCacheGet(b *testing.B) {
 			cache.Get(q)
 		}
 	})
+}
+
+// BenchmarkShardedCache measures concurrent Get/Put throughput of the
+// sharded cache at 1 shard (the single-mutex baseline) and N shards.
+// b.RunParallel with SetParallelism(8) hammers each configuration from
+// at least 8 goroutines per CPU; on multi-core hosts the N-shard rows
+// should sustain materially higher ops/sec because distinct shards never
+// contend on a lock.
+func BenchmarkShardedCache(b *testing.B) {
+	const (
+		dim  = 768
+		keys = 1024
+	)
+	rng := vec.NewRand(8)
+	queries := make([]vec.Vector, keys)
+	for i := range queries {
+		queries[i] = vec.Scale(vec.RandomUnit(rng, dim), 10)
+	}
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			cache, err := shard.NewFlat(dim, shards, core.Options{
+				Capacity:  keys,
+				Tolerance: 1,
+				Policy:    core.LRU,
+			}, 9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i, q := range queries {
+				cache.Put(q, []int{i})
+			}
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					q := queries[i%keys]
+					if i%16 == 0 {
+						cache.Put(q, []int{i})
+					} else {
+						cache.Get(q)
+					}
+					i++
+				}
+			})
+		})
+	}
 }
 
 // BenchmarkIndexSearch compares the three database substrates on the same

@@ -3,11 +3,17 @@
 // Usage:
 //
 //	proximity-bench [-quick] [-seeds N] [-experiment LIST]
+//	proximity-bench -experiment loadtest [-shards N] [-concurrency K] [-qps Q]
 //
 // where LIST is a comma-separated subset of
-// fig2,fig3,fig6-mmlu,fig6-medrag,fig7,fig8,fig9,fig10,fig11,fig12,opcount
-// or "all" (default). Results print to stdout; redirect to a file to keep
-// them. The -quick flag switches to the CI-sized configuration.
+// fig2,fig3,fig6-mmlu,fig6-medrag,fig7,fig8,fig9,fig10,fig11,fig12,opcount,
+// loadtest or "all" (default: every figure; loadtest runs only when named).
+// Results print to stdout; redirect to a file to keep them. The -quick
+// flag switches to the CI-sized configuration.
+//
+// The loadtest experiment replays the MedRAG-Zipf workload against a
+// sharded cache under concurrent load: a closed-loop throughput probe at
+// -concurrency workers, plus an open-loop latency probe when -qps is set.
 package main
 
 import (
@@ -54,18 +60,29 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("proximity-bench", flag.ContinueOnError)
 	var (
-		quick    = fs.Bool("quick", false, "use the CI-sized configuration")
-		seeds    = fs.Int("seeds", 0, "override the number of averaged seeds")
-		dim      = fs.Int("dim", 0, "override the embedding dimensionality")
-		parallel = fs.Int("parallel", 0, "override grid-cell parallelism")
-		which    = fs.String("experiment", "all", "comma-separated figures to run, or 'all'")
-		list     = fs.Bool("list", false, "list available experiments and exit")
+		quick       = fs.Bool("quick", false, "use the CI-sized configuration")
+		seeds       = fs.Int("seeds", 0, "override the number of averaged seeds")
+		dim         = fs.Int("dim", 0, "override the embedding dimensionality")
+		parallel    = fs.Int("parallel", 0, "override grid-cell parallelism")
+		which       = fs.String("experiment", "all", "comma-separated figures to run, or 'all'")
+		list        = fs.Bool("list", false, "list available experiments and exit")
+		shards      = fs.Int("shards", 0, "loadtest: cache shard count (0 = one per CPU)")
+		concurrency = fs.Int("concurrency", 0, "loadtest: closed-loop workers (0 = one per CPU)")
+		qps         = fs.Float64("qps", 0, "loadtest: add an open-loop pass at this offered load")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	available := append([]figure{}, figures...)
+	available = append(available, figure{"loadtest", func(s *experiments.Suite) (renderer, error) {
+		return s.LoadTest(experiments.LoadTestOptions{
+			Shards:      *shards,
+			Concurrency: *concurrency,
+			QPS:         *qps,
+		})
+	}})
 	if *list {
-		for _, f := range figures {
+		for _, f := range available {
 			fmt.Println(f.name)
 		}
 		return nil
@@ -89,7 +106,7 @@ func run(args []string) error {
 		return err
 	}
 
-	selected, err := selectFigures(*which)
+	selected, err := selectFigures(*which, available)
 	if err != nil {
 		return err
 	}
@@ -106,12 +123,15 @@ func run(args []string) error {
 	return nil
 }
 
-func selectFigures(which string) ([]figure, error) {
+// selectFigures resolves the -experiment list against the available set.
+// "all" covers every paper figure; loadtest runs only when named, since
+// its runtime depends on the concurrency flags rather than the suite.
+func selectFigures(which string, available []figure) ([]figure, error) {
 	if which == "all" {
 		return figures, nil
 	}
-	byName := make(map[string]figure, len(figures))
-	for _, f := range figures {
+	byName := make(map[string]figure, len(available))
+	for _, f := range available {
 		byName[f.name] = f
 	}
 	var out []figure

@@ -3,15 +3,23 @@ package main
 import "testing"
 
 func TestSelectFigures(t *testing.T) {
-	all, err := selectFigures("all")
+	available := append([]figure{}, figures...)
+	available = append(available, figure{name: "loadtest"})
+
+	all, err := selectFigures("all", available)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(all) != len(figures) {
 		t.Errorf("all selected %d figures, want %d", len(all), len(figures))
 	}
+	for _, f := range all {
+		if f.name == "loadtest" {
+			t.Error("'all' should not include loadtest")
+		}
+	}
 
-	some, err := selectFigures("fig2, fig10")
+	some, err := selectFigures("fig2, fig10", available)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,7 +27,15 @@ func TestSelectFigures(t *testing.T) {
 		t.Errorf("selection = %v", some)
 	}
 
-	if _, err := selectFigures("fig99"); err == nil {
+	lt, err := selectFigures("loadtest", available)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lt) != 1 || lt[0].name != "loadtest" {
+		t.Errorf("loadtest selection = %v", lt)
+	}
+
+	if _, err := selectFigures("fig99", available); err == nil {
 		t.Error("unknown figure should error")
 	}
 }
@@ -46,5 +62,18 @@ func TestRunSingleQuickExperiment(t *testing.T) {
 	// opcount is the cheapest full experiment.
 	if err := run([]string{"-quick", "-experiment", "opcount"}); err != nil {
 		t.Errorf("quick opcount run failed: %v", err)
+	}
+}
+
+func TestRunQuickLoadTest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI smoke test in -short mode")
+	}
+	err := run([]string{
+		"-quick", "-experiment", "loadtest",
+		"-shards", "4", "-concurrency", "8", "-qps", "5000",
+	})
+	if err != nil {
+		t.Errorf("quick loadtest run failed: %v", err)
 	}
 }

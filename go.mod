@@ -1,0 +1,3 @@
+module proximity
+
+go 1.24

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"proximity/internal/core"
+	"proximity/internal/loadgen"
+	"proximity/internal/shard"
+)
+
+// LoadTestOptions configures the concurrency harness — the knobs
+// proximity-bench exposes as -shards, -concurrency, and -qps.
+type LoadTestOptions struct {
+	// Shards is the cache partition count (0 = one per CPU).
+	Shards int
+	// Concurrency is the closed-loop worker count (0 = one per CPU).
+	Concurrency int
+	// QPS, when positive, adds an open-loop pass at that offered load
+	// after the closed-loop throughput probe.
+	QPS float64
+}
+
+// LoadTestResult reports the concurrency harness: a closed-loop
+// throughput probe, an optional open-loop latency probe, and the shard
+// pressure left behind.
+type LoadTestResult struct {
+	Shards      int
+	Concurrency int
+	Closed      *loadgen.Report
+	Open        *loadgen.Report // nil unless QPS was requested
+	Pressure    shard.PressureReport
+}
+
+// LoadTest replays the MedRAG-Zipf workload (the paper's skewed serving
+// workload, §4.2.2) against a sharded FLAT cache under concurrent load.
+// Unlike the figure harnesses, which replay one query at a time, this is
+// the ROADMAP's serving question: what throughput and tail latency does
+// the middleware sustain at a given concurrency?
+func (s *Suite) LoadTest(opts LoadTestOptions) (*LoadTestResult, error) {
+	w, err := s.zipfWorkload(s.cfg.BaseSeed + 1000)
+	if err != nil {
+		return nil, err
+	}
+	_, _, db, err := s.MedRAG()
+	if err != nil {
+		return nil, err
+	}
+
+	newRetrieverTarget := func() (loadgen.Target, *shard.ShardedCache, error) {
+		cache, err := shard.NewFlat(s.cfg.Dim, opts.Shards, core.Options{
+			Capacity:  s.cfg.ZipfFlatCapacity,
+			Tolerance: 5,
+			Policy:    core.LRU,
+		}, s.cfg.BaseSeed+2000)
+		if err != nil {
+			return nil, nil, err
+		}
+		retr, err := core.NewCachedRetriever(cache, db, core.RetrieverOptions{K: 4})
+		if err != nil {
+			return nil, nil, err
+		}
+		target, err := loadgen.NewRetrieverTarget(retr)
+		return target, cache, err
+	}
+
+	target, cache, err := newRetrieverTarget()
+	if err != nil {
+		return nil, err
+	}
+	res := &LoadTestResult{Shards: cache.NumShards(), Concurrency: opts.Concurrency}
+	res.Closed, err = loadgen.Run(target, w, loadgen.Options{
+		Mode:    loadgen.ClosedLoop,
+		Workers: opts.Concurrency,
+		Seed:    s.cfg.BaseSeed + 3000,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: closed-loop pass: %w", err)
+	}
+	res.Concurrency = res.Closed.Workers
+	res.Pressure = cache.Report()
+
+	if opts.QPS > 0 {
+		// A fresh cache so the open-loop pass measures cold-to-warm
+		// behavior, not the closed-loop pass's leftovers.
+		target, cache, err = newRetrieverTarget()
+		if err != nil {
+			return nil, err
+		}
+		res.Open, err = loadgen.Run(target, w, loadgen.Options{
+			Mode:    loadgen.OpenLoop,
+			Workers: opts.Concurrency,
+			QPS:     opts.QPS,
+			Seed:    s.cfg.BaseSeed + 3000,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: open-loop pass: %w", err)
+		}
+		res.Pressure = cache.Report()
+	}
+	return res, nil
+}
+
+// Render formats both passes plus the shard-pressure table.
+func (r *LoadTestResult) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Closed.Render())
+	if r.Open != nil {
+		b.WriteString("\n")
+		b.WriteString(r.Open.Render())
+	}
+	b.WriteString("\n")
+	b.WriteString(r.Pressure.Render())
+	return b.String()
+}

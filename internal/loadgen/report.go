@@ -1,0 +1,142 @@
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"proximity/internal/report"
+	"proximity/internal/stats"
+)
+
+// Report summarizes one load-generation run: throughput, cache
+// effectiveness, and the latency distribution (p50/p95/p99/max plus a
+// fixed-bucket histogram).
+type Report struct {
+	Mode     Mode
+	Workers  int
+	Workload string
+	Queries  int
+	Hits     int
+	Errors   int
+	Elapsed  time.Duration
+	// TargetQPS is the open-loop offered load (0 for closed loop);
+	// AchievedQPS is completed queries over wall-clock time.
+	TargetQPS   float64
+	AchievedQPS float64
+
+	// Latency summary over successful queries. Open-loop latencies are
+	// measured from the scheduled arrival, so queueing delay counts.
+	Mean time.Duration
+	P50  time.Duration
+	P95  time.Duration
+	P99  time.Duration
+	Max  time.Duration
+
+	// Histogram of latencies over [HistLo, HistHi), linear buckets.
+	HistLo     time.Duration
+	HistHi     time.Duration
+	HistCounts []int64
+	// FirstError carries the first failure observed (nil if none);
+	// Errors counts all of them.
+	FirstError error
+}
+
+// HitRate returns Hits over successful queries, or 0 with none.
+func (r *Report) HitRate() float64 {
+	if ok := r.Queries - r.Errors; ok > 0 {
+		return float64(r.Hits) / float64(ok)
+	}
+	return 0
+}
+
+// summarize fills the latency summary and histogram from raw samples.
+func (r *Report) summarize(samples []time.Duration, buckets int) {
+	if r.Elapsed > 0 {
+		r.AchievedQPS = float64(len(samples)) / r.Elapsed.Seconds()
+	}
+	if len(samples) == 0 {
+		return
+	}
+	var rec stats.LatencyRecorder
+	for _, s := range samples {
+		rec.Record(s)
+	}
+	r.Mean = rec.Mean()
+	r.P50 = rec.Percentile(50)
+	r.P95 = rec.Percentile(95)
+	r.P99 = rec.Percentile(99)
+	r.Max = rec.Max()
+
+	r.HistLo, r.HistHi = 0, r.Max+1
+	h, err := stats.NewHistogram(float64(r.HistLo), float64(r.HistHi), buckets)
+	if err != nil {
+		// Bucket count and bounds are validated by construction;
+		// failure here is unreachable.
+		panic(fmt.Sprintf("loadgen: histogram construction failed: %v", err))
+	}
+	for _, s := range samples {
+		h.Add(float64(s))
+	}
+	r.HistCounts = h.Buckets()
+}
+
+// Render formats the report: a summary table, the latency quantiles, and
+// an ASCII histogram of the latency distribution.
+func (r *Report) Render() string {
+	title := fmt.Sprintf("Load test (%s loop, %d workers", r.Mode, r.Workers)
+	if r.Mode == OpenLoop {
+		title += fmt.Sprintf(", target %.0f qps", r.TargetQPS)
+	}
+	title += ")"
+	t := report.NewTable(title,
+		"workload", "queries", "errors", "hitRate%", "elapsed", "qps")
+	t.AddRow(
+		r.Workload,
+		fmt.Sprintf("%d", r.Queries),
+		fmt.Sprintf("%d", r.Errors),
+		report.Percent(r.HitRate()),
+		r.Elapsed.Round(time.Millisecond).String(),
+		fmt.Sprintf("%.1f", r.AchievedQPS),
+	)
+	var b strings.Builder
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "latency mean=%v p50=%v p95=%v p99=%v max=%v\n",
+		r.Mean.Round(time.Microsecond), r.P50.Round(time.Microsecond),
+		r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+		r.Max.Round(time.Microsecond))
+	b.WriteString(r.renderHistogram())
+	if r.FirstError != nil {
+		fmt.Fprintf(&b, "first error: %v\n", r.FirstError)
+	}
+	return b.String()
+}
+
+// renderHistogram draws one bar per non-empty bucket, scaled to the
+// largest count.
+func (r *Report) renderHistogram() string {
+	if len(r.HistCounts) == 0 {
+		return ""
+	}
+	var peak int64
+	for _, c := range r.HistCounts {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		return ""
+	}
+	const width = 40
+	var b strings.Builder
+	step := (r.HistHi - r.HistLo) / time.Duration(len(r.HistCounts))
+	for i, c := range r.HistCounts {
+		if c == 0 {
+			continue
+		}
+		lo := r.HistLo + time.Duration(i)*step
+		bar := strings.Repeat("#", int(max(1, c*width/peak)))
+		fmt.Fprintf(&b, "%12v %6d %s\n", lo.Round(time.Microsecond), c, bar)
+	}
+	return b.String()
+}

@@ -15,6 +15,7 @@ import (
 
 	"proximity/internal/core"
 	"proximity/internal/embed"
+	"proximity/internal/shard"
 	"proximity/internal/vec"
 )
 
@@ -92,7 +93,9 @@ type RetrieveResponse struct {
 	DBMillis    float64  `json:"dbServiceMillis"`
 }
 
-// StatsResponse is the /v1/stats payload.
+// StatsResponse is the /v1/stats payload. The shard fields are present
+// only when the cache is a shard.ShardedCache (or anything else exposing
+// a pressure report).
 type StatsResponse struct {
 	Hits      int64   `json:"hits"`
 	Misses    int64   `json:"misses"`
@@ -100,6 +103,31 @@ type StatsResponse struct {
 	Entries   int     `json:"entries"`
 	Capacity  int     `json:"capacity"`
 	Evictions int64   `json:"evictions"`
+
+	// ShardCount is the number of cache partitions (0 = unsharded).
+	ShardCount int `json:"shardCount,omitempty"`
+	// ShardImbalance is max shard entries over mean shard entries
+	// (1.0 = perfectly even spread).
+	ShardImbalance float64 `json:"shardImbalance,omitempty"`
+	// Shards holds per-shard occupancy and eviction counters.
+	Shards []ShardStat `json:"shards,omitempty"`
+}
+
+// ShardStat is one shard's slice of the stats payload.
+type ShardStat struct {
+	Shard     int     `json:"shard"`
+	Entries   int     `json:"entries"`
+	Capacity  int     `json:"capacity"`
+	Occupancy float64 `json:"occupancy"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+}
+
+// pressureReporter is the shard-occupancy view a sharded cache exposes;
+// satisfied by shard.ShardedCache.
+type pressureReporter interface {
+	Report() shard.PressureReport
 }
 
 func (s *Server) handleRetrieve(w http.ResponseWriter, r *http.Request) {
@@ -165,14 +193,32 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	st := cache.Stats()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Hits:      st.Hits,
 		Misses:    st.Misses,
 		HitRate:   st.HitRate(),
 		Entries:   cache.Len(),
 		Capacity:  cache.Capacity(),
 		Evictions: st.Evictions,
-	})
+	}
+	if pr, ok := cache.(pressureReporter); ok {
+		rep := pr.Report()
+		resp.ShardCount = len(rep.Shards)
+		resp.ShardImbalance = rep.Imbalance
+		resp.Shards = make([]ShardStat, len(rep.Shards))
+		for i, s := range rep.Shards {
+			resp.Shards[i] = ShardStat{
+				Shard:     s.Shard,
+				Entries:   s.Entries,
+				Capacity:  s.Capacity,
+				Occupancy: s.Occupancy,
+				Hits:      s.Hits,
+				Misses:    s.Misses,
+				Evictions: s.Evictions,
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, _ *http.Request) {

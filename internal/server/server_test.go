@@ -8,6 +8,7 @@ import (
 
 	"proximity/internal/core"
 	"proximity/internal/embed"
+	"proximity/internal/shard"
 	"proximity/internal/vec"
 	"proximity/internal/vectordb"
 )
@@ -227,5 +228,100 @@ func TestNoCacheServer(t *testing.T) {
 	}
 	if err := client.Flush(); err != nil {
 		t.Fatal(err) // flush on no cache is a no-op, not an error
+	}
+}
+
+// TestStatsShardFields: serving from a ShardedCache surfaces per-shard
+// occupancy and eviction counters through /v1/stats; an unsharded cache
+// omits them.
+func TestStatsShardFields(t *testing.T) {
+	const dim = 32
+	enc := embed.NewTokenHash(dim, 1)
+	db, err := vectordb.NewFlatIndex(dim, vec.L2Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := []string{
+		"aspirin heart attack prevention dosage",
+		"ibuprofen inflammation joint pain",
+		"melatonin sleep circadian rhythm",
+		"statin cholesterol cardiovascular risk",
+	}
+	for _, p := range texts {
+		if err := db.Add(enc.Embed(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const shards = 4
+	cache, err := shard.NewFlat(dim, shards, core.Options{
+		Capacity: 8, Tolerance: 1, Policy: core.LRU,
+	}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retr, err := core.NewCachedRetriever(cache, db, core.RetrieverOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Retriever: retr, Embedder: enc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	for _, p := range texts {
+		if _, err := client.Query(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShardCount != shards {
+		t.Errorf("shardCount = %d, want %d", st.ShardCount, shards)
+	}
+	if len(st.Shards) != shards {
+		t.Fatalf("shards payload has %d entries, want %d", len(st.Shards), shards)
+	}
+	if st.ShardImbalance < 1 {
+		t.Errorf("shardImbalance = %v, want >= 1", st.ShardImbalance)
+	}
+	entries, capacity := 0, 0
+	for i, s := range st.Shards {
+		if s.Shard != i {
+			t.Errorf("shard %d labeled %d", i, s.Shard)
+		}
+		if s.Capacity <= 0 {
+			t.Errorf("shard %d capacity = %d, want > 0", i, s.Capacity)
+		}
+		if want := float64(s.Entries) / float64(s.Capacity); s.Occupancy != want {
+			t.Errorf("shard %d occupancy = %v, want %v", i, s.Occupancy, want)
+		}
+		entries += s.Entries
+		capacity += s.Capacity
+	}
+	if entries != st.Entries {
+		t.Errorf("per-shard entries sum %d != total %d", entries, st.Entries)
+	}
+	if capacity != st.Capacity {
+		t.Errorf("per-shard capacity sum %d != total %d", capacity, st.Capacity)
+	}
+	if st.Misses != int64(len(texts)) {
+		t.Errorf("misses = %d, want %d", st.Misses, len(texts))
+	}
+
+	// The unsharded server keeps the compact payload.
+	plain, _, _ := newTestServer(t, true, false)
+	tsPlain := httptest.NewServer(plain.Handler())
+	defer tsPlain.Close()
+	stPlain, err := NewClient(tsPlain.URL).Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stPlain.ShardCount != 0 || len(stPlain.Shards) != 0 {
+		t.Errorf("unsharded stats carry shard fields: %+v", stPlain)
 	}
 }

@@ -1,0 +1,101 @@
+package shard
+
+import (
+	"fmt"
+
+	"proximity/internal/report"
+)
+
+// ShardLoad is one shard's occupancy and pressure snapshot.
+type ShardLoad struct {
+	Shard     int
+	Entries   int
+	Capacity  int
+	Occupancy float64 // Entries / Capacity
+	Hits      int64
+	Misses    int64
+	Puts      int64
+	Evictions int64
+}
+
+// PressureReport summarizes occupancy and eviction pressure across
+// shards — the operational view a capacity planner needs: is the
+// partitioner spreading load, and which shards are thrashing?
+type PressureReport struct {
+	Shards []ShardLoad
+	// Entries and Capacity are cache-wide totals; Occupancy their
+	// ratio.
+	Entries   int
+	Capacity  int
+	Occupancy float64
+	// Evictions is the cache-wide total.
+	Evictions int64
+	// MaxOccupancy is the fullest shard's occupancy.
+	MaxOccupancy float64
+	// Imbalance is max shard entries over mean shard entries: 1.0 is a
+	// perfectly even spread; values well above 1 mean the partitioner
+	// concentrates keys (hot shards evict while cold shards sit idle).
+	Imbalance float64
+}
+
+// Report takes a consistent-enough snapshot of every shard (each shard is
+// read atomically; cross-shard skew under concurrent writes is bounded by
+// one in-flight operation per shard) and derives the pressure summary.
+func (c *ShardedCache) Report() PressureReport {
+	r := PressureReport{Shards: make([]ShardLoad, len(c.shards))}
+	maxEntries := 0
+	for i, s := range c.shards {
+		st := s.Stats()
+		load := ShardLoad{
+			Shard:     i,
+			Entries:   s.Len(),
+			Capacity:  s.Capacity(),
+			Hits:      st.Hits,
+			Misses:    st.Misses,
+			Puts:      st.Puts,
+			Evictions: st.Evictions,
+		}
+		if load.Capacity > 0 {
+			load.Occupancy = float64(load.Entries) / float64(load.Capacity)
+		}
+		r.Shards[i] = load
+		r.Entries += load.Entries
+		r.Capacity += load.Capacity
+		r.Evictions += load.Evictions
+		if load.Occupancy > r.MaxOccupancy {
+			r.MaxOccupancy = load.Occupancy
+		}
+		if load.Entries > maxEntries {
+			maxEntries = load.Entries
+		}
+	}
+	if r.Capacity > 0 {
+		r.Occupancy = float64(r.Entries) / float64(r.Capacity)
+	}
+	if mean := float64(r.Entries) / float64(len(r.Shards)); mean > 0 {
+		r.Imbalance = float64(maxEntries) / mean
+	}
+	return r
+}
+
+// Render formats the report as an aligned table plus the summary line.
+func (r PressureReport) Render() string {
+	t := report.NewTable("Shard pressure",
+		"shard", "entries", "capacity", "occupancy%", "hits", "misses", "puts", "evictions")
+	for _, s := range r.Shards {
+		t.AddRow(
+			fmt.Sprintf("%d", s.Shard),
+			fmt.Sprintf("%d", s.Entries),
+			fmt.Sprintf("%d", s.Capacity),
+			report.Percent(s.Occupancy),
+			fmt.Sprintf("%d", s.Hits),
+			fmt.Sprintf("%d", s.Misses),
+			fmt.Sprintf("%d", s.Puts),
+			fmt.Sprintf("%d", s.Evictions),
+		)
+	}
+	return t.String() + fmt.Sprintf(
+		"total %d/%d entries (%s%% full, max shard %s%%), %d evictions, imbalance %.2f\n",
+		r.Entries, r.Capacity, report.Percent(r.Occupancy),
+		report.Percent(r.MaxOccupancy), r.Evictions, r.Imbalance)
+}

@@ -1,0 +1,327 @@
+// Package shard horizontally partitions a Proximity cache across N
+// independently-locked sub-caches, removing the single-mutex bottleneck
+// that serializes FlatCache and LSHCache lookups under concurrent load.
+// The paper's middleware deployment (Fig. 4) serves many clients at once;
+// serving-oriented RAG caches (RAGCache, Cache-Craft) show that lock
+// contention, not mean lookup cost, dominates tail latency at scale.
+//
+// Keys are routed to shards by either an LSH signature (the default:
+// similar queries collide on the same shard with high probability, so
+// approximate hits survive partitioning) or a byte fingerprint (exact
+// repeats only, but perfectly uniform spread). Each shard is any
+// core.Cache — FLAT or LSH — built by a per-shard factory, and the whole
+// structure satisfies core.Cache, making ShardedCache a drop-in for
+// core.CachedRetriever.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"proximity/internal/core"
+	"proximity/internal/lsh"
+	"proximity/internal/vec"
+)
+
+// Partition selects the key-to-shard routing strategy.
+type Partition int
+
+const (
+	// LSHSignature routes by a random-hyperplane signature reduced
+	// modulo the shard count. Queries within the cache tolerance share
+	// a signature with high probability, so approximate hits survive
+	// sharding — the same locality argument as Proximity-LSH itself
+	// (§3.2). This is the default.
+	LSHSignature Partition = iota + 1
+	// Fingerprint routes by an FNV-1a hash of the embedding bytes.
+	// Spread across shards is uniform regardless of embedding
+	// geometry, but only byte-identical repeats land on the same
+	// shard, so approximate matches across rephrasings are lost.
+	Fingerprint
+)
+
+// String implements fmt.Stringer.
+func (p Partition) String() string {
+	switch p {
+	case LSHSignature:
+		return "lsh"
+	case Fingerprint:
+		return "fingerprint"
+	default:
+		return fmt.Sprintf("partition(%d)", int(p))
+	}
+}
+
+// ParsePartition converts a string into a Partition.
+func ParsePartition(s string) (Partition, error) {
+	switch s {
+	case "lsh":
+		return LSHSignature, nil
+	case "fingerprint":
+		return Fingerprint, nil
+	default:
+		return 0, fmt.Errorf("shard: unknown partition strategy %q", s)
+	}
+}
+
+// Factory builds the sub-cache for one shard index. Factories let any
+// core.Cache variant back a shard; the helpers in this package cover the
+// FLAT and LSH cases.
+type Factory func(shard int) (core.Cache, error)
+
+// DefaultSignatureBits is the partitioner's hyperplane count when
+// Options.SignatureBits is zero. 2^10 signatures spread far more finely
+// than any realistic shard count, keeping the modulo reduction balanced.
+const DefaultSignatureBits = 10
+
+// Options configures a ShardedCache.
+type Options struct {
+	// Shards is the number of independently-locked partitions.
+	// Defaults to runtime.GOMAXPROCS(0).
+	Shards int
+	// Partition is the routing strategy. Defaults to LSHSignature.
+	Partition Partition
+	// SignatureBits is the hyperplane count of the LSHSignature
+	// partitioner (ignored by Fingerprint). Defaults to
+	// DefaultSignatureBits, capped at lsh.MaxBits.
+	SignatureBits int
+	// Seed drives the partitioner's hyperplane draw, so a fixed seed
+	// reproduces the same shard assignment.
+	Seed uint64
+	// New builds each shard's sub-cache. Required.
+	New Factory
+}
+
+// ShardedCache hash-partitions keys across independently-locked
+// sub-caches. It satisfies core.Cache, so it drops into
+// core.CachedRetriever wherever a FlatCache or LSHCache does. All methods
+// are safe for concurrent use; distinct shards never contend.
+type ShardedCache struct {
+	shards []core.Cache
+	part   Partition
+	hasher *lsh.Hasher // LSHSignature routing; nil under Fingerprint
+	dim    int
+}
+
+var _ core.Cache = (*ShardedCache)(nil)
+
+// New creates a ShardedCache for dim-dimensional embeddings, building one
+// sub-cache per shard through opts.New.
+func New(dim int, opts Options) (*ShardedCache, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("shard: dimension must be positive, got %d", dim)
+	}
+	if opts.New == nil {
+		return nil, fmt.Errorf("shard: a sub-cache factory is required")
+	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("shard: shard count must be non-negative, got %d", opts.Shards)
+	}
+	n := opts.Shards
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if opts.Partition == 0 {
+		opts.Partition = LSHSignature
+	}
+	c := &ShardedCache{
+		shards: make([]core.Cache, n),
+		part:   opts.Partition,
+		dim:    dim,
+	}
+	switch opts.Partition {
+	case LSHSignature:
+		bits := opts.SignatureBits
+		if bits == 0 {
+			bits = DefaultSignatureBits
+		}
+		if bits > lsh.MaxBits {
+			bits = lsh.MaxBits
+		}
+		hasher, err := lsh.NewHasher(dim, bits, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		c.hasher = hasher
+	case Fingerprint:
+		// No partitioner state needed.
+	default:
+		return nil, fmt.Errorf("shard: unknown partition strategy %d", int(opts.Partition))
+	}
+	for i := range c.shards {
+		sub, err := opts.New(i)
+		if err != nil {
+			return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
+		}
+		if sub == nil {
+			return nil, fmt.Errorf("shard: factory returned nil cache for shard %d", i)
+		}
+		c.shards[i] = sub
+	}
+	return c, nil
+}
+
+// NewFlat creates a ShardedCache of FLAT sub-caches. The configured
+// capacity is the TOTAL across shards (split evenly, rounded up), so the
+// result is a drop-in replacement for a single FlatCache of the same
+// capacity. seed drives the shard partitioner.
+func NewFlat(dim, shards int, opts core.Options, seed uint64) (*ShardedCache, error) {
+	// Resolve the shard count once so the per-shard capacity split and
+	// the built partition count can never diverge.
+	n := shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	per := opts.Capacity / n
+	if opts.Capacity%n != 0 {
+		per++
+	}
+	sub := opts
+	sub.Capacity = per
+	return New(dim, Options{
+		Shards: n,
+		Seed:   seed,
+		New:    func(int) (core.Cache, error) { return core.NewFlat(dim, sub) },
+	})
+}
+
+// NewLSH creates a ShardedCache of LSH sub-caches. Each shard keeps the
+// full bucket geometry (2^Bits buckets of BucketCapacity) — buckets are
+// lazily allocated, so actual memory still tracks usage. Shard sub-caches
+// draw distinct hyperplanes (opts.Seed + shard index); the partitioner
+// uses opts.Seed directly.
+func NewLSH(dim, shards int, opts core.LSHOptions) (*ShardedCache, error) {
+	return New(dim, Options{
+		Shards: shards,
+		Seed:   opts.Seed,
+		New: func(i int) (core.Cache, error) {
+			sub := opts
+			sub.Seed = opts.Seed + 1 + uint64(i)
+			return core.NewLSH(dim, sub)
+		},
+	})
+}
+
+// ShardFor returns the shard index a query routes to. Deterministic for a
+// fixed construction seed; exported for diagnostics and tests.
+func (c *ShardedCache) ShardFor(q vec.Vector) int {
+	var h uint32
+	switch c.part {
+	case Fingerprint:
+		h = fingerprint(q)
+	default:
+		h = c.hasher.Hash(q)
+	}
+	return int(h % uint32(len(c.shards)))
+}
+
+// fingerprint is FNV-1a over the embedding's float bits.
+func fingerprint(q vec.Vector) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, f := range q {
+		bits := math.Float32bits(f)
+		for s := 0; s < 32; s += 8 {
+			h ^= (bits >> s) & 0xff
+			h *= prime32
+		}
+	}
+	return h
+}
+
+// Get routes the query to its shard and looks it up there. Only that
+// shard's lock is taken.
+func (c *ShardedCache) Get(q vec.Vector) ([]int, bool) {
+	if q == nil {
+		return nil, false
+	}
+	return c.shards[c.ShardFor(q)].Get(q)
+}
+
+// Put routes the entry to its shard and inserts it under the sub-cache's
+// configured tolerance.
+func (c *ShardedCache) Put(q vec.Vector, docs []int) {
+	if q == nil {
+		return
+	}
+	c.shards[c.ShardFor(q)].Put(q, docs)
+}
+
+// PutWithTolerance routes the entry to its shard and inserts it with its
+// own match threshold (§3.3.3's per-line dynamic tolerance).
+func (c *ShardedCache) PutWithTolerance(q vec.Vector, docs []int, tol float32) {
+	if q == nil {
+		return
+	}
+	c.shards[c.ShardFor(q)].PutWithTolerance(q, docs, tol)
+}
+
+// Len returns the total number of entries across shards.
+func (c *ShardedCache) Len() int {
+	total := 0
+	for _, s := range c.shards {
+		total += s.Len()
+	}
+	return total
+}
+
+// Capacity returns the summed capacity of all shards.
+func (c *ShardedCache) Capacity() int {
+	total := 0
+	for _, s := range c.shards {
+		total += s.Capacity()
+	}
+	return total
+}
+
+// NumShards returns the partition count.
+func (c *ShardedCache) NumShards() int { return len(c.shards) }
+
+// Partition returns the routing strategy.
+func (c *ShardedCache) Partition() Partition { return c.part }
+
+// Shard returns the i-th sub-cache, for diagnostics and tests.
+func (c *ShardedCache) Shard(i int) core.Cache { return c.shards[i] }
+
+// ShardStats returns a per-shard snapshot of the cumulative counters.
+func (c *ShardedCache) ShardStats() []core.Stats {
+	out := make([]core.Stats, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = s.Stats()
+	}
+	return out
+}
+
+// Stats aggregates counters across shards. HashOps includes both the
+// partitioner's routing projections and any hashing the sub-caches do;
+// the routing share is derived from the operation counts (every Get and
+// Put hashes once) rather than tracked on the hot path, so lookups on
+// distinct shards share no mutable state at all.
+func (c *ShardedCache) Stats() core.Stats {
+	var agg core.Stats
+	for _, s := range c.shards {
+		st := s.Stats()
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Puts += st.Puts
+		agg.Evictions += st.Evictions
+		agg.DistComps += st.DistComps
+		agg.HashOps += st.HashOps
+	}
+	if c.hasher != nil {
+		agg.HashOps += (agg.Hits + agg.Misses + agg.Puts) * int64(c.hasher.Bits())
+	}
+	return agg
+}
+
+// Clear removes all entries from every shard (counters are preserved by
+// sub-caches that preserve them).
+func (c *ShardedCache) Clear() {
+	for _, s := range c.shards {
+		s.Clear()
+	}
+}

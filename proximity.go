@@ -26,6 +26,37 @@
 // hyperplane bucket (O((L+b)·d), independent of capacity). See the
 // examples directory for complete programs and DESIGN.md for the paper
 // mapping.
+//
+// # Serving at scale: sharding and load generation
+//
+// Both cache variants serialize every operation behind one mutex, which
+// is fine for single-stream experiments but becomes the bottleneck when
+// the middleware serves many clients at once. NewShardedFlatCache and
+// NewShardedLSHCache hash-partition keys across N independently-locked
+// sub-caches (LSH-signature routing by default, so approximately-equal
+// queries still collide on the same shard and hit); the result satisfies
+// the same Cache interface and drops into NewRetriever unchanged:
+//
+//	cache, _ := proximity.NewShardedFlatCache(768, 0, proximity.Options{
+//		Capacity: 4096, Tolerance: 5, Policy: proximity.LRU,
+//	}, 1) // 0 shards = one per CPU
+//	retriever, _ := proximity.NewRetriever(cache, db, proximity.RetrieverOptions{K: 4})
+//
+// The companion load generator replays any workload against a retriever
+// (or the HTTP middleware) in closed loop (K workers back-to-back, a
+// throughput probe) or open loop (Poisson arrivals at a target QPS, a
+// latency-under-load probe), reporting achieved QPS and the p50/p95/p99
+// latency distribution:
+//
+//	target, _ := proximity.NewRetrieverTarget(retriever)
+//	rep, _ := proximity.RunLoad(target, wl, proximity.LoadOptions{
+//		Mode: proximity.OpenLoop, QPS: 5000,
+//	})
+//	fmt.Print(rep.Render())
+//
+// See examples/loadtest for a complete program and `proximity-bench
+// -experiment loadtest -shards N -concurrency K -qps Q` for the CLI
+// harness.
 package proximity
 
 import (
@@ -33,8 +64,11 @@ import (
 
 	"proximity/internal/core"
 	"proximity/internal/embed"
+	"proximity/internal/loadgen"
+	"proximity/internal/shard"
 	"proximity/internal/vec"
 	"proximity/internal/vectordb"
+	"proximity/internal/workload"
 )
 
 // Re-exported core types. The implementation lives in internal packages;
@@ -80,6 +114,32 @@ type (
 	TokenHashEmbedder = embed.TokenHash
 	// Thesaurus supplies synonym knowledge to the encoder.
 	Thesaurus = embed.Thesaurus
+
+	// ShardedCache hash-partitions keys across independently-locked
+	// sub-caches for concurrent serving.
+	ShardedCache = shard.ShardedCache
+	// ShardOptions configures a generic ShardedCache.
+	ShardOptions = shard.Options
+	// ShardPartition selects the key-to-shard routing strategy.
+	ShardPartition = shard.Partition
+	// PressureReport is the per-shard occupancy/eviction summary.
+	PressureReport = shard.PressureReport
+
+	// Workload is an ordered query stream (see internal/workload for
+	// the paper's uniform, Zipf, and TripClick builders).
+	Workload = workload.Workload
+	// WorkloadQuery is one workload element.
+	WorkloadQuery = workload.Query
+
+	// LoadTarget is anything the load generator can drive.
+	LoadTarget = loadgen.Target
+	// LoadOptions configures a load-generation run.
+	LoadOptions = loadgen.Options
+	// LoadMode selects open- vs closed-loop traffic.
+	LoadMode = loadgen.Mode
+	// LoadReport summarizes a run: throughput, hit rate, and the
+	// latency distribution.
+	LoadReport = loadgen.Report
 )
 
 // Eviction policies.
@@ -88,6 +148,24 @@ const (
 	FIFO = core.FIFO
 	// LRU evicts the least recently used entry.
 	LRU = core.LRU
+)
+
+// Shard partition strategies.
+const (
+	// LSHShards routes by LSH signature: similar queries land on the
+	// same shard, preserving approximate hits (the default).
+	LSHShards = shard.LSHSignature
+	// FingerprintShards routes by a byte hash: perfectly uniform
+	// spread, but only exact repeats collide.
+	FingerprintShards = shard.Fingerprint
+)
+
+// Load-generation traffic modes.
+const (
+	// ClosedLoop runs K workers back-to-back (throughput probe).
+	ClosedLoop = loadgen.ClosedLoop
+	// OpenLoop paces Poisson arrivals at a target QPS (latency probe).
+	OpenLoop = loadgen.OpenLoop
 )
 
 // Distance metrics.
@@ -128,6 +206,44 @@ func LoadFlatCache(r io.Reader) (*core.FlatCache, error) {
 // with its WriteSnapshot method.
 func LoadLSHCache(r io.Reader) (*core.LSHCache, error) {
 	return core.ReadLSHSnapshot(r)
+}
+
+// NewShardedCache creates a hash-partitioned cache from an explicit
+// per-shard factory (any Cache variant may back a shard).
+func NewShardedCache(dim int, opts ShardOptions) (*ShardedCache, error) {
+	return shard.New(dim, opts)
+}
+
+// NewShardedFlatCache partitions a FLAT cache across `shards`
+// independently-locked sub-caches (0 = one per CPU). The configured
+// capacity is the total across shards, so the result is a drop-in for a
+// single FLAT cache of the same size; seed fixes the shard routing.
+func NewShardedFlatCache(dim, shards int, opts Options, seed uint64) (*ShardedCache, error) {
+	return shard.NewFlat(dim, shards, opts, seed)
+}
+
+// NewShardedLSHCache partitions an LSH cache across `shards`
+// independently-locked sub-caches (0 = one per CPU), each keeping the
+// full bucket geometry.
+func NewShardedLSHCache(dim, shards int, opts LSHOptions) (*ShardedCache, error) {
+	return shard.NewLSH(dim, shards, opts)
+}
+
+// NewRetrieverTarget adapts a Retriever for the load generator.
+func NewRetrieverTarget(r *Retriever) (LoadTarget, error) {
+	return loadgen.NewRetrieverTarget(r)
+}
+
+// NewHTTPTarget adapts a running middleware (see internal/server) at
+// base, e.g. "http://127.0.0.1:8080", for the load generator.
+func NewHTTPTarget(base string) LoadTarget {
+	return loadgen.NewHTTPTarget(base)
+}
+
+// RunLoad replays a workload against a target under concurrent load,
+// reporting throughput, hit rate, and latency quantiles.
+func RunLoad(target LoadTarget, w Workload, opts LoadOptions) (*LoadReport, error) {
+	return loadgen.Run(target, w, opts)
 }
 
 // NewFlatIndex creates an exact in-memory vector index.

@@ -74,3 +74,89 @@ func TestMedicalThesaurus(t *testing.T) {
 		t.Error("built-in thesaurus should map therapy to treatment")
 	}
 }
+
+// TestPublicShardingAndLoad exercises the serving-scale facade: a sharded
+// cache behind a retriever, driven by the load generator in both traffic
+// modes.
+func TestPublicShardingAndLoad(t *testing.T) {
+	const dim = 64
+	enc := NewEmbedder(dim, 3, nil)
+	db, err := NewFlatIndex(dim, L2Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topics := []string{
+		"electric car battery range highway",
+		"diesel truck cargo logistics freight",
+		"bicycle commuting urban lanes helmet",
+		"train schedule regional commuter line",
+	}
+	for _, p := range topics {
+		if err := db.Add(enc.Embed(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cache, err := NewShardedFlatCache(dim, 4, Options{
+		Capacity: 16, Tolerance: 1, Policy: LRU,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", cache.NumShards())
+	}
+	retr, err := NewRetriever(cache, db, RetrieverOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := NewRetrieverTarget(retr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wl := Workload{Name: "api-test"}
+	for r := 0; r < 3; r++ {
+		for q, text := range topics {
+			wl.Queries = append(wl.Queries, WorkloadQuery{
+				Text: text, Embedding: enc.Embed(text), Question: q, Occurrence: r,
+			})
+		}
+	}
+	closed, err := RunLoad(target, wl, LoadOptions{Mode: ClosedLoop, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed.Queries != 12 || closed.Errors != 0 {
+		t.Fatalf("closed loop report = %+v", closed)
+	}
+	if closed.Hits != 8 { // every repeat of the 4 topics hits
+		t.Errorf("closed loop hits = %d, want 8", closed.Hits)
+	}
+
+	cache.Clear()
+	// Workers pinned to 4 so each topic's queries stay on one worker
+	// (i % 4): repeats always issue after their first occurrence's Put,
+	// keeping the hit count deterministic on any host.
+	open, err := RunLoad(target, wl, LoadOptions{Mode: OpenLoop, QPS: 50000, Workers: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.Hits != 8 {
+		t.Errorf("open loop hits = %d, want 8", open.Hits)
+	}
+
+	rep := cache.Report()
+	if rep.Entries != cache.Len() || len(rep.Shards) != 4 {
+		t.Errorf("pressure report = %+v", rep)
+	}
+
+	// The sharded LSH constructor is part of the facade too.
+	lshCache, err := NewShardedLSHCache(dim, 2, LSHOptions{Bits: 4, Tolerance: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lshCache.NumShards() != 2 {
+		t.Errorf("LSH NumShards = %d, want 2", lshCache.NumShards())
+	}
+}
