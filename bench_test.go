@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
+	"proximity/internal/batch"
 	"proximity/internal/core"
 	"proximity/internal/experiments"
 	"proximity/internal/hnsw"
@@ -256,6 +258,73 @@ func BenchmarkShardedCache(b *testing.B) {
 					i++
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkBatchedRetriever compares the miss path with and without the
+// miss-coalescing batch pipeline at increasing contention (b.RunParallel
+// with SetParallelism 1/4/16 over an IVF index; the query stream repeats
+// keys, so under concurrency in-flight duplicates coalesce and unique
+// misses gather into batched cell scans). The cache is disabled so the
+// benchmark isolates the database-search path the pipeline optimizes.
+func BenchmarkBatchedRetriever(b *testing.B) {
+	const (
+		dim  = 128
+		n    = 4096
+		keys = 256
+		k    = 8
+	)
+	rng := vec.NewRand(12)
+	vectors := make([]vec.Vector, n)
+	for i := range vectors {
+		vectors[i] = vec.RandomGaussian(rng, dim)
+	}
+	ix, err := vectordb.BuildIVF(vectors, vec.L2Distance, vectordb.IVFConfig{Seed: 13})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]vec.Vector, keys)
+	for i := range queries {
+		queries[i] = vec.RandomGaussian(rng, dim)
+	}
+
+	run := func(b *testing.B, parallelism int, searcher core.Searcher) {
+		retr, err := core.NewCachedRetriever(nil, ix, core.RetrieverOptions{
+			K:        k,
+			Searcher: searcher,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetParallelism(parallelism)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, err := retr.Retrieve(queries[i%keys]); err != nil {
+					// Fatal must not be called off the main goroutine.
+					b.Error(err)
+					return
+				}
+				i++
+			}
+		})
+	}
+	for _, parallelism := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("unbatched/parallel-%d", parallelism), func(b *testing.B) {
+			run(b, parallelism, nil)
+		})
+		b.Run(fmt.Sprintf("batched/parallel-%d", parallelism), func(b *testing.B) {
+			pipe, err := batch.New(ix, batch.Options{
+				Timeout: 50 * time.Microsecond,
+				Seed:    14,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pipe.Close()
+			run(b, parallelism, pipe)
 		})
 	}
 }

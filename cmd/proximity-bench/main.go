@@ -4,6 +4,7 @@
 //
 //	proximity-bench [-quick] [-seeds N] [-experiment LIST]
 //	proximity-bench -experiment loadtest [-shards N] [-concurrency K] [-qps Q]
+//	    [-batch] [-batch-size B] [-batch-timeout D]
 //
 // where LIST is a comma-separated subset of
 // fig2,fig3,fig6-mmlu,fig6-medrag,fig7,fig8,fig9,fig10,fig11,fig12,opcount,
@@ -14,6 +15,8 @@
 // The loadtest experiment replays the MedRAG-Zipf workload against a
 // sharded cache under concurrent load: a closed-loop throughput probe at
 // -concurrency workers, plus an open-loop latency probe when -qps is set.
+// With -batch it additionally A/B-tests the miss path — direct searches
+// vs. the miss-coalescing batched pipeline — over the same IVF index.
 package main
 
 import (
@@ -60,15 +63,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("proximity-bench", flag.ContinueOnError)
 	var (
-		quick       = fs.Bool("quick", false, "use the CI-sized configuration")
-		seeds       = fs.Int("seeds", 0, "override the number of averaged seeds")
-		dim         = fs.Int("dim", 0, "override the embedding dimensionality")
-		parallel    = fs.Int("parallel", 0, "override grid-cell parallelism")
-		which       = fs.String("experiment", "all", "comma-separated figures to run, or 'all'")
-		list        = fs.Bool("list", false, "list available experiments and exit")
-		shards      = fs.Int("shards", 0, "loadtest: cache shard count (0 = one per CPU)")
-		concurrency = fs.Int("concurrency", 0, "loadtest: closed-loop workers (0 = one per CPU)")
-		qps         = fs.Float64("qps", 0, "loadtest: add an open-loop pass at this offered load")
+		quick        = fs.Bool("quick", false, "use the CI-sized configuration")
+		seeds        = fs.Int("seeds", 0, "override the number of averaged seeds")
+		dim          = fs.Int("dim", 0, "override the embedding dimensionality")
+		parallel     = fs.Int("parallel", 0, "override grid-cell parallelism")
+		which        = fs.String("experiment", "all", "comma-separated figures to run, or 'all'")
+		list         = fs.Bool("list", false, "list available experiments and exit")
+		shards       = fs.Int("shards", 0, "loadtest: cache shard count (0 = one per CPU)")
+		concurrency  = fs.Int("concurrency", 0, "loadtest: closed-loop workers (0 = one per CPU)")
+		qps          = fs.Float64("qps", 0, "loadtest: add an open-loop pass at this offered load (with -batch, also overrides the A/B's self-calibrated rate)")
+		batchOn      = fs.Bool("batch", false, "loadtest: add the batched-vs-unbatched miss-path comparison")
+		batchSize    = fs.Int("batch-size", 0, "loadtest: batch pipeline flush size (0 = default)")
+		batchTimeout = fs.Duration("batch-timeout", 0, "loadtest: batch pipeline flush deadline (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,9 +82,12 @@ func run(args []string) error {
 	available := append([]figure{}, figures...)
 	available = append(available, figure{"loadtest", func(s *experiments.Suite) (renderer, error) {
 		return s.LoadTest(experiments.LoadTestOptions{
-			Shards:      *shards,
-			Concurrency: *concurrency,
-			QPS:         *qps,
+			Shards:       *shards,
+			Concurrency:  *concurrency,
+			QPS:          *qps,
+			Batch:        *batchOn,
+			MaxBatch:     *batchSize,
+			BatchTimeout: *batchTimeout,
 		})
 	}})
 	if *list {

@@ -1,0 +1,147 @@
+// Batched: measure the miss-coalescing batched retrieval pipeline.
+//
+// The program builds an IVF index over a synthetic corpus and replays a
+// thundering-herd stream — every novel query arrives as a burst of
+// near-simultaneous duplicates, the trending-query pattern — against the
+// bare miss path (no cache, so the comparison isolates what the pipeline
+// optimizes). It first measures each configuration's closed-loop
+// capacity, then replays in open loop at a fixed rate between the two
+// capacities: above what the unbatched path sustains, below what the
+// batched path sustains. In-flight duplicates share one index search
+// (singleflight) and unique misses gather into batched SearchBatch
+// passes that probe each IVF cell once per batch.
+//
+// Run with: go run ./examples/batched
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"proximity"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		dim    = 256
+		topics = 240
+		burst  = 6
+		k      = 4
+	)
+	enc := proximity.NewEmbedder(dim, 42, proximity.MedicalThesaurus())
+
+	// A synthetic corpus clustered around topic words, served by an IVF
+	// index (the batch-aware substrate).
+	var corpus []proximity.Vector
+	for t := 0; t < topics; t++ {
+		for d := 0; d < 12; d++ {
+			corpus = append(corpus, enc.Embed(fmt.Sprintf("passage %d about topic-%d detail-%d", d, t, d)))
+		}
+	}
+	// Probe half of the coarse lists so one traversal carries
+	// production-shaped cost relative to per-query fixed overheads.
+	db, err := proximity.NewIVFIndex(corpus, proximity.L2Distance, proximity.IVFConfig{
+		NProbe: 27,
+		Seed:   1,
+	})
+	if err != nil {
+		return err
+	}
+
+	// The herd: each topic's query arrives burst times back-to-back.
+	wl := proximity.Workload{Name: "thundering-herd"}
+	for t := 0; t < topics; t++ {
+		text := fmt.Sprintf("common questions about topic-%d", t)
+		emb := enc.Embed(text)
+		for o := 0; o < burst; o++ {
+			wl.Queries = append(wl.Queries, proximity.WorkloadQuery{
+				Text:       text,
+				Embedding:  emb,
+				Question:   t,
+				Occurrence: o,
+			})
+		}
+	}
+
+	newTarget := func(searcher proximity.Searcher) (proximity.LoadTarget, error) {
+		retriever, err := proximity.NewRetriever(nil, db, proximity.RetrieverOptions{
+			K:        k,
+			Searcher: searcher,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return proximity.NewRetrieverTarget(retriever)
+	}
+	replay := func(searcher proximity.Searcher, opts proximity.LoadOptions) (*proximity.LoadReport, error) {
+		target, err := newTarget(searcher)
+		if err != nil {
+			return nil, err
+		}
+		return proximity.RunLoad(target, wl, opts)
+	}
+
+	// Phase 1: closed-loop capacity probes.
+	closed := proximity.LoadOptions{Mode: proximity.ClosedLoop, Workers: 24}
+	unCap, err := replay(nil, closed)
+	if err != nil {
+		return err
+	}
+	pipe, err := proximity.NewBatchPipeline(db, proximity.BatchOptions{Seed: 3})
+	if err != nil {
+		return err
+	}
+	bCap, err := replay(pipe, closed)
+	if err != nil {
+		return err
+	}
+	if err := pipe.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("closed-loop capacity: unbatched %.0f qps, batched %.0f qps (%+.0f%%)\n\n",
+		unCap.AchievedQPS, bCap.AchievedQPS,
+		100*(bCap.AchievedQPS-unCap.AchievedQPS)/unCap.AchievedQPS)
+
+	// Phase 2: open loop at the capacity midpoint — a load the
+	// unbatched miss path cannot sustain but the pipeline can.
+	open := proximity.LoadOptions{
+		Mode:    proximity.OpenLoop,
+		QPS:     math.Sqrt(unCap.AchievedQPS * bCap.AchievedQPS),
+		Workers: 24,
+		Seed:    11,
+	}
+	fmt.Printf("=== unbatched miss path (open loop @ %.0f qps) ===\n", open.QPS)
+	unbatched, err := replay(nil, open)
+	if err != nil {
+		return err
+	}
+	fmt.Print(unbatched.Render())
+
+	fmt.Printf("=== batched miss path (open loop @ %.0f qps) ===\n", open.QPS)
+	pipe, err = proximity.NewBatchPipeline(db, proximity.BatchOptions{Seed: 3})
+	if err != nil {
+		return err
+	}
+	batched, err := replay(pipe, open)
+	if err != nil {
+		return err
+	}
+	if err := pipe.Close(); err != nil {
+		return err
+	}
+	fmt.Print(batched.Render())
+
+	st := pipe.Stats()
+	fmt.Printf("pipeline: %d searches, %d coalesced (%.1f%%), %d flushes (mean batch %.2f; %d size / %d timeout / %d drain)\n",
+		st.Searches, st.Coalesced, 100*st.CoalesceRate(),
+		st.Flushes, st.MeanBatch(), st.SizeFlushes, st.TimeoutFlushes, st.DrainFlushes)
+	fmt.Printf("p95: unbatched %v -> batched %v\n", unbatched.P95, batched.P95)
+	return nil
+}

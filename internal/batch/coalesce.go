@@ -1,0 +1,159 @@
+package batch
+
+import (
+	"errors"
+	"slices"
+	"sync"
+
+	"proximity/internal/vec"
+)
+
+// Searcher is the minimal search surface the coalescer fronts — satisfied
+// by a Queue, a Pipeline, or any vectordb.DB.
+type Searcher interface {
+	Search(q vec.Vector, k int) ([]vec.Scored, error)
+}
+
+// KeyFunc maps a query to its coalescing fingerprint. Requests with equal
+// (fingerprint, k) that overlap in time share one inner search.
+type KeyFunc func(q vec.Vector) uint32
+
+// CoalesceStats are cumulative coalescer counters.
+type CoalesceStats struct {
+	// Leads counts requests that performed the inner search.
+	Leads int64
+	// Coalesced counts requests served from another request's flight.
+	Coalesced int64
+	// Collisions counts requests whose fingerprint matched an in-flight
+	// search but whose embedding did not (verified mode only); they
+	// searched independently rather than receive another query's
+	// documents.
+	Collisions int64
+}
+
+// Rate returns the fraction of requests served without an inner search.
+func (s CoalesceStats) Rate() float64 {
+	if n := s.Leads + s.Coalesced; n > 0 {
+		return float64(s.Coalesced) / float64(n)
+	}
+	return 0
+}
+
+// flight is one in-progress inner search shared by duplicate requests.
+type flight struct {
+	q    vec.Vector // the leader's embedding, for collision verification
+	done chan struct{}
+	res  []vec.Scored
+	err  error
+}
+
+// Coalescer deduplicates concurrent identical (or, with an LSH-signature
+// key, near-identical) searches: the first request with a given
+// (fingerprint, k) becomes the leader and performs the inner search;
+// requests arriving while it is in flight wait and receive a private copy
+// of its results. Sequential duplicates are NOT deduplicated — that is
+// the cache's job; the coalescer only collapses races between concurrent
+// misses. Safe for concurrent use.
+type Coalescer struct {
+	inner  Searcher
+	key    KeyFunc
+	verify bool // require embedding equality, not just key equality
+
+	mu       sync.Mutex
+	inflight map[uint64]*flight
+	stats    CoalesceStats
+}
+
+// NewCoalescer creates a singleflight front for inner, keyed by key.
+// Requests whose keys match are assumed to be interchangeable — the
+// right semantics for a locality-sensitive key such as an LSH signature,
+// where near-identical queries are meant to share a flight.
+func NewCoalescer(inner Searcher, key KeyFunc) (*Coalescer, error) {
+	return newCoalescer(inner, key, false)
+}
+
+// NewVerifiedCoalescer is NewCoalescer for keys that promise exact
+// deduplication (e.g. a byte fingerprint): a request joins a flight only
+// if its embedding equals the leader's, so a hash collision degrades to
+// an independent search instead of silently serving — and then caching —
+// another query's documents.
+func NewVerifiedCoalescer(inner Searcher, key KeyFunc) (*Coalescer, error) {
+	return newCoalescer(inner, key, true)
+}
+
+func newCoalescer(inner Searcher, key KeyFunc, verify bool) (*Coalescer, error) {
+	if inner == nil {
+		return nil, errors.New("batch: coalescer requires an inner searcher")
+	}
+	if key == nil {
+		return nil, errors.New("batch: coalescer requires a key function")
+	}
+	return &Coalescer{
+		inner:    inner,
+		key:      key,
+		verify:   verify,
+		inflight: make(map[uint64]*flight),
+	}, nil
+}
+
+// Search performs (or joins) the deduplicated search for q.
+func (c *Coalescer) Search(q vec.Vector, k int) ([]vec.Scored, error) {
+	key := uint64(c.key(q))<<32 | uint64(uint32(k))
+
+	c.mu.Lock()
+	if f, ok := c.inflight[key]; ok {
+		if c.verify && !slices.Equal(f.q, q) {
+			// Fingerprint collision between distinct embeddings: search
+			// independently, bypassing the flight.
+			c.stats.Collisions++
+			c.mu.Unlock()
+			return c.inner.Search(q, k)
+		}
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		// Followers get their own copy so no two callers share a
+		// mutable result slice.
+		out := make([]vec.Scored, len(f.res))
+		copy(out, f.res)
+		return out, nil
+	}
+	f := &flight{q: q, done: make(chan struct{})}
+	c.inflight[key] = f
+	c.stats.Leads++
+	c.mu.Unlock()
+
+	f.res, f.err = c.inner.Search(q, k)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
+	if f.err != nil {
+		return nil, f.err
+	}
+	// The leader also returns a copy: followers may still be copying
+	// from f.res after this call returns, so the flight's slice must
+	// stay immutable no matter what any caller does with its result.
+	out := make([]vec.Scored, len(f.res))
+	copy(out, f.res)
+	return out, nil
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (c *Coalescer) Stats() CoalesceStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Inflight returns the number of searches currently in flight, for
+// diagnostics and tests.
+func (c *Coalescer) Inflight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.inflight)
+}

@@ -1,0 +1,102 @@
+package batch_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"proximity/internal/batch"
+	"proximity/internal/vec"
+	"proximity/internal/vectordb"
+)
+
+func TestConstructorValidation(t *testing.T) {
+	ix := buildIVF(t, 20, 4, 1)
+	if _, err := batch.NewQueue(nil, batch.QueueOptions{}); err == nil {
+		t.Error("NewQueue(nil) should fail")
+	}
+	if _, err := batch.NewCoalescer(nil, func(vec.Vector) uint32 { return 0 }); err == nil {
+		t.Error("NewCoalescer(nil inner) should fail")
+	}
+	if _, err := batch.NewCoalescer(ix, nil); err == nil {
+		t.Error("NewCoalescer(nil key) should fail")
+	}
+	if _, err := batch.New(nil, batch.Options{}); err == nil {
+		t.Error("New(nil db) should fail")
+	}
+	if _, err := batch.New(ix, batch.Options{Queues: -1}); err == nil {
+		t.Error("negative queue count should fail")
+	}
+	if _, err := batch.New(ix, batch.Options{Coalesce: batch.CoalesceMode(99)}); err == nil {
+		t.Error("unknown coalesce mode should fail")
+	}
+
+	q, err := batch.NewQueue(ix, batch.QueueOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if _, err := q.Search(vec.Vector{1, 2, 3, 4}, 0); err != vectordb.ErrBadK {
+		t.Errorf("k=0 error = %v, want ErrBadK", err)
+	}
+}
+
+func TestCoalesceModeString(t *testing.T) {
+	cases := map[batch.CoalesceMode]string{
+		batch.CoalesceExact: "exact",
+		batch.CoalesceLSH:   "lsh",
+		batch.CoalesceOff:   "off",
+	}
+	for mode, want := range cases {
+		if got := mode.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(mode), got, want)
+		}
+	}
+	if got := batch.CoalesceMode(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("unknown mode string %q should carry the value", got)
+	}
+}
+
+func TestCoalesceOffPipeline(t *testing.T) {
+	ix := buildIVF(t, 30, 4, 2)
+	counting := vectordb.NewInstrumented(ix, nil)
+	pipe, err := batch.New(counting, batch.Options{
+		Queues:   1,
+		Coalesce: batch.CoalesceOff,
+		Timeout:  20 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := vec.RandomGaussian(vec.NewRand(3), 4)
+	for i := 0; i < 3; i++ {
+		if _, err := pipe.Search(q, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := pipe.Stats()
+	if st.Coalesced != 0 || st.Searches != 3 || st.Enqueued != 3 {
+		t.Errorf("CoalesceOff stats = %+v, want 3 searches, 0 coalesced", st)
+	}
+	if st.CoalesceRate() != 0 {
+		t.Errorf("CoalesceRate = %v, want 0", st.CoalesceRate())
+	}
+}
+
+func TestQueueStatsMeanBatch(t *testing.T) {
+	var s batch.QueueStats
+	if s.MeanBatch() != 0 {
+		t.Error("MeanBatch before any flush should be 0")
+	}
+	s = batch.QueueStats{Enqueued: 12, Flushes: 3}
+	if got := s.MeanBatch(); got != 4 {
+		t.Errorf("MeanBatch = %v, want 4", got)
+	}
+	var p batch.Stats
+	if p.MeanBatch() != 0 || p.CoalesceRate() != 0 {
+		t.Error("empty pipeline stats should report zeros")
+	}
+}

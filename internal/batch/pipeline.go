@@ -1,0 +1,251 @@
+package batch
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"proximity/internal/lsh"
+	"proximity/internal/shard"
+	"proximity/internal/vec"
+	"proximity/internal/vectordb"
+)
+
+// CoalesceMode selects how in-flight duplicate misses are detected.
+type CoalesceMode int
+
+const (
+	// CoalesceExact deduplicates byte-identical embeddings (FNV-1a
+	// fingerprint, shared with the shard router). The default.
+	CoalesceExact CoalesceMode = iota + 1
+	// CoalesceLSH deduplicates embeddings with equal random-hyperplane
+	// signatures: near-identical rephrasings share one search, the same
+	// locality argument as Proximity-LSH itself. Followers receive the
+	// leader's documents, so this trades a little exactness on the miss
+	// path for fewer index traversals — sound for the same reason the
+	// approximate cache is.
+	CoalesceLSH
+	// CoalesceOff disables singleflight; only batching applies.
+	CoalesceOff
+)
+
+// String implements fmt.Stringer.
+func (m CoalesceMode) String() string {
+	switch m {
+	case CoalesceExact:
+		return "exact"
+	case CoalesceLSH:
+		return "lsh"
+	case CoalesceOff:
+		return "off"
+	default:
+		return fmt.Sprintf("coalesce(%d)", int(m))
+	}
+}
+
+// Options configures a Pipeline.
+type Options struct {
+	// Queues is the number of independently-locked batch queues misses
+	// are spread over (fingerprint-routed). Defaults to
+	// runtime.GOMAXPROCS(0).
+	Queues int
+	// MaxBatch is the per-queue flush size. Defaults to DefaultMaxBatch.
+	MaxBatch int
+	// Timeout is the per-queue flush deadline. Defaults to
+	// DefaultTimeout.
+	Timeout time.Duration
+	// Coalesce selects duplicate detection. Defaults to CoalesceExact.
+	Coalesce CoalesceMode
+	// SignatureBits is the hyperplane count under CoalesceLSH. Defaults
+	// to shard.DefaultSignatureBits, capped at lsh.MaxBits.
+	SignatureBits int
+	// Seed drives the CoalesceLSH hyperplane draw.
+	Seed uint64
+	// Clock supplies the queue flush timers. Defaults to SystemClock.
+	Clock Clock
+}
+
+// Stats aggregates pipeline counters across the coalescer and all queues.
+type Stats struct {
+	// Searches is the number of Search calls into the pipeline.
+	Searches int64
+	// Coalesced is the subset served from another request's flight.
+	Coalesced int64
+	// Collisions counts fingerprint collisions between distinct
+	// embeddings (exact mode only); such requests search independently.
+	Collisions int64
+	// Enqueued is the number of searches that reached a batch queue.
+	Enqueued int64
+	// Flushes is the number of SearchBatch calls issued to the index.
+	Flushes int64
+	// SizeFlushes, TimeoutFlushes, and DrainFlushes break Flushes down
+	// by trigger.
+	SizeFlushes    int64
+	TimeoutFlushes int64
+	DrainFlushes   int64
+	// Errors counts searches that returned a database error.
+	Errors int64
+}
+
+// CoalesceRate returns the fraction of searches that skipped the index.
+func (s Stats) CoalesceRate() float64 {
+	if s.Searches > 0 {
+		return float64(s.Coalesced) / float64(s.Searches)
+	}
+	return 0
+}
+
+// MeanBatch returns the average flush size, or 0 before any flush.
+func (s Stats) MeanBatch() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.Enqueued) / float64(s.Flushes)
+}
+
+// Pipeline is the full miss-coalescing batched retrieval path: a
+// singleflight coalescer in front of fingerprint-routed batch queues in
+// front of a (batch-aware) vector database. It satisfies vectordb.DB and
+// core.Searcher, so it drops into core.CachedRetriever either as the
+// database itself or as the miss-path Searcher option. Safe for
+// concurrent use; Close drains the queues.
+type Pipeline struct {
+	db     vectordb.DB
+	queues []*Queue
+	co     *Coalescer // nil under CoalesceOff
+	opts   Options
+}
+
+var _ vectordb.DB = (*Pipeline)(nil)
+var _ Searcher = (*Pipeline)(nil)
+
+// New builds a pipeline over db.
+func New(db vectordb.DB, opts Options) (*Pipeline, error) {
+	if db == nil {
+		return nil, fmt.Errorf("batch: pipeline requires a database")
+	}
+	if opts.Queues < 0 {
+		return nil, fmt.Errorf("batch: queue count must be non-negative, got %d", opts.Queues)
+	}
+	if opts.Queues == 0 {
+		opts.Queues = runtime.GOMAXPROCS(0)
+	}
+	if opts.Coalesce == 0 {
+		opts.Coalesce = CoalesceExact
+	}
+	p := &Pipeline{db: db, opts: opts}
+	p.queues = make([]*Queue, opts.Queues)
+	for i := range p.queues {
+		q, err := NewQueue(db, QueueOptions{
+			MaxBatch: opts.MaxBatch,
+			Timeout:  opts.Timeout,
+			Clock:    opts.Clock,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.queues[i] = q
+	}
+
+	var key KeyFunc
+	verified := false
+	switch opts.Coalesce {
+	case CoalesceExact:
+		// The fingerprint promises byte-identical dedup, so flights are
+		// joined only after verifying embedding equality — a 32-bit
+		// hash collision must not serve (and then cache) another
+		// query's documents.
+		key = shard.FingerprintOf
+		verified = true
+	case CoalesceLSH:
+		bits := opts.SignatureBits
+		if bits == 0 {
+			bits = shard.DefaultSignatureBits
+		}
+		if bits > lsh.MaxBits {
+			bits = lsh.MaxBits
+		}
+		hasher, err := lsh.NewHasher(db.Dim(), bits, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		key = hasher.Hash
+	case CoalesceOff:
+		return p, nil
+	default:
+		return nil, fmt.Errorf("batch: unknown coalesce mode %d", int(opts.Coalesce))
+	}
+	newCo := NewCoalescer
+	if verified {
+		newCo = NewVerifiedCoalescer
+	}
+	co, err := newCo(searcherFunc(p.enqueue), key)
+	if err != nil {
+		return nil, err
+	}
+	p.co = co
+	return p, nil
+}
+
+// searcherFunc adapts a function to the Searcher interface.
+type searcherFunc func(q vec.Vector, k int) ([]vec.Scored, error)
+
+// Search implements Searcher.
+func (f searcherFunc) Search(q vec.Vector, k int) ([]vec.Scored, error) { return f(q, k) }
+
+// Search runs one retrieval through the pipeline: duplicate in-flight
+// misses coalesce, unique ones gather into per-queue batches.
+func (p *Pipeline) Search(q vec.Vector, k int) ([]vec.Scored, error) {
+	if p.co != nil {
+		return p.co.Search(q, k)
+	}
+	return p.enqueue(q, k)
+}
+
+// enqueue routes a unique search to its fingerprint-assigned queue.
+func (p *Pipeline) enqueue(q vec.Vector, k int) ([]vec.Scored, error) {
+	return p.queues[int(shard.FingerprintOf(q)%uint32(len(p.queues)))].Search(q, k)
+}
+
+// Close drains every queue; in-flight waiters receive their results and
+// later Search calls fail with ErrClosed.
+func (p *Pipeline) Close() error {
+	for _, q := range p.queues {
+		_ = q.Close()
+	}
+	return nil
+}
+
+// Dim implements vectordb.DB.
+func (p *Pipeline) Dim() int { return p.db.Dim() }
+
+// Len implements vectordb.DB.
+func (p *Pipeline) Len() int { return p.db.Len() }
+
+// DB returns the wrapped database.
+func (p *Pipeline) DB() vectordb.DB { return p.db }
+
+// NumQueues returns the batch-queue count.
+func (p *Pipeline) NumQueues() int { return len(p.queues) }
+
+// Stats returns a snapshot of the aggregated counters.
+func (p *Pipeline) Stats() Stats {
+	var s Stats
+	for _, q := range p.queues {
+		qs := q.Stats()
+		s.Enqueued += qs.Enqueued
+		s.Flushes += qs.Flushes
+		s.SizeFlushes += qs.SizeFlushes
+		s.TimeoutFlushes += qs.TimeoutFlushes
+		s.DrainFlushes += qs.DrainFlushes
+		s.Errors += qs.Errors
+	}
+	s.Searches = s.Enqueued
+	if p.co != nil {
+		cs := p.co.Stats()
+		s.Coalesced = cs.Coalesced
+		s.Collisions = cs.Collisions
+		s.Searches = cs.Leads + cs.Coalesced + cs.Collisions
+	}
+	return s
+}

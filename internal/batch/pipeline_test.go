@@ -1,0 +1,235 @@
+package batch_test
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"proximity/internal/batch"
+	"proximity/internal/core"
+	"proximity/internal/vec"
+	"proximity/internal/vectordb"
+)
+
+// buildIVF creates a deterministic IVF index over a random corpus.
+func buildIVF(t *testing.T, n, dim int, seed uint64) *vectordb.IVFIndex {
+	t.Helper()
+	rng := vec.NewRand(seed)
+	vectors := make([]vec.Vector, n)
+	for i := range vectors {
+		vectors[i] = vec.RandomGaussian(rng, dim)
+	}
+	ix, err := vectordb.BuildIVF(vectors, vec.L2Distance, vectordb.IVFConfig{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// TestPipelineMatchesDirectSearch replays a query stream through the full
+// pipeline (coalescer + queues + SearchBatch) under concurrency and
+// checks every result against a direct db.Search — the pipeline must be
+// an invisible performance layer.
+func TestPipelineMatchesDirectSearch(t *testing.T) {
+	ix := buildIVF(t, 120, 8, 3)
+	pipe, err := batch.New(ix, batch.Options{Queues: 2, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+
+	const n = 64
+	rng := vec.NewRand(21)
+	queries := make([]vec.Vector, n)
+	for i := range queries {
+		if i%3 == 0 && i > 0 {
+			queries[i] = queries[i-1] // in-flight duplicates
+		} else {
+			queries[i] = vec.RandomGaussian(rng, 8)
+		}
+	}
+
+	results := make([][]vec.Scored, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = pipe.Search(queries[i], 5)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		want, err := ix.Search(queries[i], 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(results[i], want) {
+			t.Errorf("query %d: pipeline %v, direct %v", i, results[i], want)
+		}
+	}
+
+	st := pipe.Stats()
+	if st.Searches != n {
+		t.Errorf("Searches = %d, want %d", st.Searches, n)
+	}
+	if st.Searches != st.Coalesced+st.Enqueued {
+		t.Errorf("counter mismatch: searches=%d coalesced=%d enqueued=%d",
+			st.Searches, st.Coalesced, st.Enqueued)
+	}
+	if st.Flushes != st.SizeFlushes+st.TimeoutFlushes+st.DrainFlushes {
+		t.Errorf("flush trigger breakdown %+v does not sum to Flushes", st)
+	}
+	if st.Flushes == 0 || st.MeanBatch() < 1 {
+		t.Errorf("no batching observed: %+v", st)
+	}
+}
+
+// TestPipelineThroughRetriever wires the pipeline into a CachedRetriever
+// via the Searcher option and checks the retrieved documents match an
+// unbatched retriever query-for-query, hits and misses alike.
+func TestPipelineThroughRetriever(t *testing.T) {
+	ix := buildIVF(t, 80, 8, 7)
+	pipe, err := batch.New(ix, batch.Options{Queues: 1, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+
+	newCache := func() core.Cache {
+		c, err := core.NewFlat(8, core.Options{Capacity: 64, Tolerance: 0.5, Policy: core.LRU})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	batched, err := core.NewCachedRetriever(newCache(), ix, core.RetrieverOptions{K: 3, Searcher: pipe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := core.NewCachedRetriever(newCache(), ix, core.RetrieverOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := vec.NewRand(31)
+	for i := 0; i < 40; i++ {
+		var q vec.Vector
+		if i%4 == 3 {
+			q = vec.RandomGaussian(vec.NewRand(1000), 8) // same query each time → cache hits
+		} else {
+			q = vec.RandomGaussian(rng, 8)
+		}
+		got, err := batched.Retrieve(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := plain.Retrieve(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Docs, want.Docs) || got.Hit != want.Hit {
+			t.Fatalf("query %d: batched (%v, hit=%v) vs plain (%v, hit=%v)",
+				i, got.Docs, got.Hit, want.Docs, want.Hit)
+		}
+	}
+	if st := pipe.Stats(); st.Searches == 0 {
+		t.Error("pipeline saw no miss traffic")
+	}
+}
+
+// TestPipelineLSHCoalescing checks that near-identical concurrent misses
+// share one index search under CoalesceLSH.
+func TestPipelineLSHCoalescing(t *testing.T) {
+	ix := buildIVF(t, 60, 8, 11)
+	counting := vectordb.NewInstrumented(ix, nil)
+	pipe, err := batch.New(counting, batch.Options{
+		Queues:   1,
+		MaxBatch: 64, // force timeout/drain flushes, not size
+		Coalesce: batch.CoalesceLSH,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := vec.RandomGaussian(vec.NewRand(77), 8)
+	near := vec.Clone(base)
+	near[0] += 1e-6 // byte-distinct, signature-identical w.h.p.
+
+	const pairs = 16
+	var wg sync.WaitGroup
+	for i := 0; i < pairs; i++ {
+		for _, q := range []vec.Vector{base, near} {
+			wg.Add(1)
+			go func(q vec.Vector) {
+				defer wg.Done()
+				if _, err := pipe.Search(q, 3); err != nil {
+					t.Error(err)
+				}
+			}(q)
+		}
+	}
+	wg.Wait()
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := pipe.Stats()
+	if st.Searches != 2*pairs {
+		t.Fatalf("Searches = %d, want %d", st.Searches, 2*pairs)
+	}
+	// Concurrency makes the exact coalesce count scheduling-dependent,
+	// but byte-distinct near-duplicates can only coalesce via the LSH
+	// signature, so any coalescing at all proves the mode works.
+	if st.Coalesced == 0 {
+		t.Error("no LSH coalescing observed across 32 near-identical concurrent misses")
+	}
+	if got := int64(counting.Calls()); got != st.Enqueued {
+		t.Errorf("database calls = %d, enqueued = %d (should match)", got, st.Enqueued)
+	}
+}
+
+// TestPipelineClose verifies drain-on-close and rejection afterwards.
+func TestPipelineClose(t *testing.T) {
+	ix := buildIVF(t, 40, 8, 13)
+	pipe, err := batch.New(ix, batch.Options{Queues: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Search(vec.RandomGaussian(vec.NewRand(1), 8), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Search(vec.RandomGaussian(vec.NewRand(2), 8), 2); !errors.Is(err, batch.ErrClosed) {
+		t.Errorf("Search after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestPipelineIsADB pins the vectordb.DB passthrough surface.
+func TestPipelineIsADB(t *testing.T) {
+	ix := buildIVF(t, 50, 8, 17)
+	pipe, err := batch.New(ix, batch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	var db vectordb.DB = pipe
+	if db.Dim() != ix.Dim() || db.Len() != ix.Len() {
+		t.Errorf("passthrough Dim/Len = %d/%d, want %d/%d", db.Dim(), db.Len(), ix.Dim(), ix.Len())
+	}
+	if pipe.NumQueues() < 1 {
+		t.Error("pipeline built no queues")
+	}
+	if pipe.DB() != vectordb.DB(ix) {
+		t.Error("DB() does not return the wrapped database")
+	}
+}

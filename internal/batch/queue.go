@@ -1,0 +1,240 @@
+package batch
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"proximity/internal/vec"
+	"proximity/internal/vectordb"
+)
+
+// ErrClosed is returned by Search calls issued after Close.
+var ErrClosed = errors.New("batch: queue closed")
+
+// DefaultMaxBatch is the flush size when QueueOptions.MaxBatch is zero.
+const DefaultMaxBatch = 16
+
+// DefaultTimeout is the flush deadline when QueueOptions.Timeout is zero:
+// long enough for a concurrent miss burst to gather, short enough to be
+// invisible next to a production database search.
+const DefaultTimeout = 200 * time.Microsecond
+
+// QueueOptions configures a Queue.
+type QueueOptions struct {
+	// MaxBatch flushes the pending batch as soon as it reaches this
+	// size. Defaults to DefaultMaxBatch.
+	MaxBatch int
+	// Timeout flushes whatever has gathered once this much time has
+	// passed since the first request of the batch arrived. Defaults to
+	// DefaultTimeout.
+	Timeout time.Duration
+	// Clock supplies the flush timer. Defaults to SystemClock.
+	Clock Clock
+}
+
+func (o *QueueOptions) fillDefaults() {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = DefaultTimeout
+	}
+	if o.Clock == nil {
+		o.Clock = SystemClock{}
+	}
+}
+
+// QueueStats are cumulative queue counters.
+type QueueStats struct {
+	// Enqueued is the number of Search calls accepted.
+	Enqueued int64
+	// Flushes is the number of SearchBatch calls issued.
+	Flushes int64
+	// SizeFlushes counts flushes triggered by reaching MaxBatch.
+	SizeFlushes int64
+	// TimeoutFlushes counts flushes triggered by the batch timer.
+	TimeoutFlushes int64
+	// DrainFlushes counts the final flush Close performs (0 or 1).
+	DrainFlushes int64
+	// Errors counts Search calls that returned a database error.
+	Errors int64
+}
+
+// MeanBatch returns the average flush size, or 0 before any flush.
+func (s QueueStats) MeanBatch() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.Enqueued) / float64(s.Flushes)
+}
+
+// waiter is one pending Search call.
+type waiter struct {
+	q  vec.Vector
+	k  int
+	ch chan flushResult
+}
+
+type flushResult struct {
+	res []vec.Scored
+	err error
+}
+
+// Queue collects concurrent Search calls and serves each gathered batch
+// with a single vectordb.SearchBatch pass. A batch flushes when it
+// reaches MaxBatch, when Timeout elapses after its first request, or
+// when the queue is closed (drain); a database error fans out to every
+// waiter of the affected flush. All methods are safe for concurrent use.
+type Queue struct {
+	db   vectordb.DB
+	opts QueueOptions
+
+	mu      sync.Mutex
+	pending []waiter
+	gen     uint64 // bumped on every flush; stale timers check it
+	closed  bool
+	stats   QueueStats
+}
+
+// NewQueue creates a batch queue in front of db.
+func NewQueue(db vectordb.DB, opts QueueOptions) (*Queue, error) {
+	if db == nil {
+		return nil, errors.New("batch: queue requires a database")
+	}
+	opts.fillDefaults()
+	return &Queue{db: db, opts: opts}, nil
+}
+
+// Search enqueues the query and blocks until its batch is served,
+// returning the k nearest documents exactly as a direct db.Search would.
+func (b *Queue) Search(q vec.Vector, k int) ([]vec.Scored, error) {
+	if k <= 0 {
+		return nil, vectordb.ErrBadK
+	}
+	ch := make(chan flushResult, 1)
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	b.pending = append(b.pending, waiter{q: q, k: k, ch: ch})
+	b.stats.Enqueued++
+	switch {
+	case len(b.pending) >= b.opts.MaxBatch:
+		ws := b.take()
+		b.stats.SizeFlushes++
+		b.mu.Unlock()
+		b.flush(ws)
+	case len(b.pending) == 1:
+		// First request of a fresh batch: arm its flush timer.
+		gen := b.gen
+		timer := b.opts.Clock.After(b.opts.Timeout)
+		b.mu.Unlock()
+		go b.awaitTimer(gen, timer)
+	default:
+		b.mu.Unlock()
+	}
+
+	r := <-ch
+	return r.res, r.err
+}
+
+// Close drains the pending batch and rejects subsequent Search calls with
+// ErrClosed. Waiters of the drained batch receive their results.
+func (b *Queue) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	ws := b.take()
+	if len(ws) > 0 {
+		b.stats.DrainFlushes++
+	}
+	b.mu.Unlock()
+	if len(ws) > 0 {
+		b.flush(ws)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (b *Queue) Stats() QueueStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Pending returns the current batch occupancy, for diagnostics and tests.
+func (b *Queue) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pending)
+}
+
+// take removes the pending batch and invalidates its timer, counting the
+// flush in the same critical section as the caller's trigger counter so
+// Stats snapshots always see the trigger breakdown sum to Flushes.
+// Callers hold b.mu.
+func (b *Queue) take() []waiter {
+	ws := b.pending
+	b.pending = nil
+	b.gen++
+	if len(ws) > 0 {
+		b.stats.Flushes++
+	}
+	return ws
+}
+
+// awaitTimer flushes the batch of generation gen when its timer fires; if
+// that batch already flushed (by size or drain), the generation moved on
+// and the timer is stale.
+func (b *Queue) awaitTimer(gen uint64, timer <-chan time.Time) {
+	<-timer
+	b.mu.Lock()
+	if b.gen != gen || len(b.pending) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	ws := b.take()
+	b.stats.TimeoutFlushes++
+	b.mu.Unlock()
+	b.flush(ws)
+}
+
+// flush serves one gathered batch, issuing one SearchBatch call per
+// distinct k so every waiter gets exactly what a direct db.Search(q, k)
+// would return — searching once at the batch maximum and truncating
+// would silently change results on beam-width-sensitive indexes (HNSW,
+// Vamana), whose candidate sets depend on k. In the steady state every
+// waiter shares the retriever's ρ·K, so this is one call per flush. An
+// error fans out to every waiter of the affected SearchBatch call.
+func (b *Queue) flush(ws []waiter) {
+	// Group waiters by k, preserving arrival order within each group.
+	byK := make(map[int][]waiter, 1)
+	for _, w := range ws {
+		byK[w.k] = append(byK[w.k], w)
+	}
+	for k, group := range byK {
+		qs := make([]vec.Vector, len(group))
+		for i, w := range group {
+			qs[i] = w.q
+		}
+		res, err := vectordb.SearchBatch(b.db, qs, k)
+		if err != nil {
+			b.mu.Lock()
+			b.stats.Errors += int64(len(group))
+			b.mu.Unlock()
+			for _, w := range group {
+				w.ch <- flushResult{err: err}
+			}
+			continue
+		}
+		for i, w := range group {
+			w.ch <- flushResult{res: res[i]}
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package batch_test
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"proximity/internal/batch"
+	"proximity/internal/experiments"
+	"proximity/internal/vec"
+	"proximity/internal/vectordb"
+)
+
+// queueCorpus builds a small deterministic flat index whose per-query
+// Search results are the ground truth for every flush path.
+func queueCorpus(t *testing.T) *vectordb.FlatIndex {
+	t.Helper()
+	rng := vec.NewRand(17)
+	vectors := make([]vec.Vector, 12)
+	for i := range vectors {
+		vectors[i] = vec.RandomGaussian(rng, 4)
+	}
+	ix, err := vectordb.NewFlatFromVectors(vectors, vec.L2Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// errDB fails every search with a fixed error.
+type errDB struct{ err error }
+
+func (e *errDB) Search(vec.Vector, int) ([]vec.Scored, error) { return nil, e.err }
+func (e *errDB) Dim() int                                     { return 4 }
+func (e *errDB) Len() int                                     { return 1 }
+
+// waitPending polls until the queue holds n pending requests.
+func waitPending(t *testing.T, q *batch.Queue, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if q.Pending() == n {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatalf("queue never reached %d pending (have %d)", n, q.Pending())
+}
+
+// TestQueueFlushSemantics drives every flush trigger deterministically on
+// the fake clock: size flushes need no time to pass, timeout flushes fire
+// only when the clock is advanced, Close drains what gathered, and a
+// database error fans out to every waiter of the flush.
+func TestQueueFlushSemantics(t *testing.T) {
+	dbErr := errors.New("search backend down")
+	cases := []struct {
+		name     string
+		maxBatch int
+		requests int    // concurrent Search calls, query i asks for ks[i]
+		ks       []int  // per-request k (len == requests)
+		action   string // "", "advance", or "close"
+		failDB   bool
+
+		wantFlushes int64
+		wantSize    int64
+		wantTimeout int64
+		wantDrain   int64
+	}{
+		{
+			name:     "flush on size",
+			maxBatch: 4, requests: 4, ks: []int{3, 3, 3, 3},
+			action:      "",
+			wantFlushes: 1, wantSize: 1,
+		},
+		{
+			name:     "flush on size with mixed k grouping",
+			maxBatch: 3, requests: 3, ks: []int{1, 5, 2},
+			action:      "",
+			wantFlushes: 1, wantSize: 1,
+		},
+		{
+			name:     "flush on timeout",
+			maxBatch: 16, requests: 2, ks: []int{4, 4},
+			action:      "advance",
+			wantFlushes: 1, wantTimeout: 1,
+		},
+		{
+			name:     "timeout flush of a single straggler",
+			maxBatch: 16, requests: 1, ks: []int{2},
+			action:      "advance",
+			wantFlushes: 1, wantTimeout: 1,
+		},
+		{
+			name:     "drain on close",
+			maxBatch: 16, requests: 3, ks: []int{2, 4, 1},
+			action:      "close",
+			wantFlushes: 1, wantDrain: 1,
+		},
+		{
+			name:     "error fan-out to all waiters",
+			maxBatch: 3, requests: 3, ks: []int{2, 2, 2},
+			action: "", failDB: true,
+			wantFlushes: 1, wantSize: 1,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var db vectordb.DB
+			flat := queueCorpus(t)
+			db = flat
+			if tc.failDB {
+				db = &errDB{err: dbErr}
+			}
+			clock := experiments.NewFakeClock()
+			q, err := batch.NewQueue(db, batch.QueueOptions{
+				MaxBatch: tc.maxBatch,
+				Timeout:  time.Millisecond,
+				Clock:    clock,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			queries := make([]vec.Vector, tc.requests)
+			rng := vec.NewRand(99)
+			for i := range queries {
+				queries[i] = vec.RandomGaussian(rng, 4)
+			}
+			results := make([][]vec.Scored, tc.requests)
+			errs := make([]error, tc.requests)
+			var wg sync.WaitGroup
+			for i := 0; i < tc.requests; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					results[i], errs[i] = q.Search(queries[i], tc.ks[i])
+				}(i)
+			}
+
+			switch tc.action {
+			case "advance":
+				waitPending(t, q, tc.requests)
+				clock.BlockUntil(1)
+				clock.Advance(time.Millisecond)
+			case "close":
+				waitPending(t, q, tc.requests)
+				if err := q.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			wg.Wait()
+
+			for i := range results {
+				if tc.failDB {
+					if !errors.Is(errs[i], dbErr) {
+						t.Errorf("request %d error = %v, want %v", i, errs[i], dbErr)
+					}
+					continue
+				}
+				if errs[i] != nil {
+					t.Fatalf("request %d: %v", i, errs[i])
+				}
+				want, err := flat.Search(queries[i], tc.ks[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(results[i], want) {
+					t.Errorf("request %d (k=%d): batched result %v, want per-query result %v",
+						i, tc.ks[i], results[i], want)
+				}
+			}
+
+			st := q.Stats()
+			if st.Enqueued != int64(tc.requests) {
+				t.Errorf("Enqueued = %d, want %d", st.Enqueued, tc.requests)
+			}
+			if st.Flushes != tc.wantFlushes || st.SizeFlushes != tc.wantSize ||
+				st.TimeoutFlushes != tc.wantTimeout || st.DrainFlushes != tc.wantDrain {
+				t.Errorf("flush stats = %+v, want flushes=%d size=%d timeout=%d drain=%d",
+					st, tc.wantFlushes, tc.wantSize, tc.wantTimeout, tc.wantDrain)
+			}
+			if tc.failDB && st.Errors != int64(tc.requests) {
+				t.Errorf("Errors = %d, want %d", st.Errors, tc.requests)
+			}
+
+			if tc.action == "close" {
+				if _, err := q.Search(queries[0], 1); !errors.Is(err, batch.ErrClosed) {
+					t.Errorf("Search after Close = %v, want ErrClosed", err)
+				}
+				if err := q.Close(); err != nil {
+					t.Errorf("second Close = %v, want nil", err)
+				}
+			}
+		})
+	}
+}
+
+// TestQueueSequentialBatchesKeepTimersStraight exercises generation
+// handling: a size-flushed batch's stale timer must not flush the next
+// batch early, and the next batch's own timer must still work.
+func TestQueueSequentialBatchesKeepTimersStraight(t *testing.T) {
+	flat := queueCorpus(t)
+	clock := experiments.NewFakeClock()
+	q, err := batch.NewQueue(flat, batch.QueueOptions{
+		MaxBatch: 2,
+		Timeout:  time.Millisecond,
+		Clock:    clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := vec.NewRand(5)
+	search := func() chan error {
+		done := make(chan error, 1)
+		qv := vec.RandomGaussian(rng, 4)
+		go func() {
+			_, err := q.Search(qv, 2)
+			done <- err
+		}()
+		return done
+	}
+
+	// Batch 1 flushes by size; its timer (generation 0) is now stale.
+	d1, d2 := search(), search()
+	if err := <-d1; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-d2; err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch 2 gathers one request. Firing the stale timer must not
+	// flush it...
+	d3 := search()
+	waitPending(t, q, 1)
+	clock.BlockUntil(2) // stale timer + batch 2's timer
+	clock.Advance(time.Millisecond)
+	if err := <-d3; err != nil {
+		t.Fatal(err)
+	}
+	st := q.Stats()
+	if st.SizeFlushes != 1 || st.TimeoutFlushes != 1 || st.Flushes != 2 {
+		t.Errorf("stats = %+v, want 1 size flush and 1 timeout flush", st)
+	}
+}

@@ -9,6 +9,12 @@ import (
 	"proximity/internal/vectordb"
 )
 
+// Searcher abstracts the miss-path nearest-neighbor search. vectordb.DB
+// satisfies it, as does the batch pipeline's coalesced entry point.
+type Searcher interface {
+	Search(q vec.Vector, k int) ([]vec.Scored, error)
+}
+
 // RetrieverOptions configures a CachedRetriever.
 type RetrieverOptions struct {
 	// K is the number of document indices the RAG pipeline expects.
@@ -27,6 +33,13 @@ type RetrieverOptions struct {
 	// when nil the database contributes zero simulated latency and
 	// only real work is done. See vectordb.LatencyModel.
 	Latency vectordb.LatencyModel
+	// Searcher, when non-nil, serves the miss-path database search
+	// instead of calling db.Search directly. This is the hook the
+	// miss-coalescing batch pipeline (internal/batch) plugs into:
+	// concurrent misses are deduplicated and gathered into batched
+	// index passes without the retriever knowing. The database is still
+	// consulted for Dim/Len and (via Source) re-ranking vectors.
+	Searcher Searcher
 	// DynamicTolerance, when positive, derives each cache line's match
 	// threshold from its own retrieval instead of the global τ:
 	// tol = DynamicTolerance × distance(query, K-th retrieved
@@ -120,8 +133,13 @@ func (r *CachedRetriever) Retrieve(q vec.Vector) (Result, error) {
 		}
 	}
 
-	// Cache miss (or no cache): over-fetch ρ·K from the database.
-	scored, err := r.db.Search(q, r.opts.K*r.opts.Rerank)
+	// Cache miss (or no cache): over-fetch ρ·K from the database,
+	// through the batching/coalescing searcher when one is configured.
+	search := Searcher(r.db)
+	if r.opts.Searcher != nil {
+		search = r.opts.Searcher
+	}
+	scored, err := search.Search(q, r.opts.K*r.opts.Rerank)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: database search: %w", err)
 	}
@@ -186,6 +204,11 @@ func (r *CachedRetriever) Cache() Cache { return r.cache }
 
 // DB returns the backing database.
 func (r *CachedRetriever) DB() vectordb.DB { return r.db }
+
+// Searcher returns the configured miss-path searcher (nil when misses go
+// straight to the database). The stats endpoint uses this to surface
+// batch-pipeline counters.
+func (r *CachedRetriever) Searcher() Searcher { return r.opts.Searcher }
 
 // K returns the configured result count.
 func (r *CachedRetriever) K() int { return r.opts.K }

@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"time"
 
+	"proximity/internal/batch"
 	"proximity/internal/core"
 	"proximity/internal/embed"
 	"proximity/internal/shard"
@@ -111,6 +112,24 @@ type StatsResponse struct {
 	ShardImbalance float64 `json:"shardImbalance,omitempty"`
 	// Shards holds per-shard occupancy and eviction counters.
 	Shards []ShardStat `json:"shards,omitempty"`
+
+	// Batch holds miss-coalescing/batching counters, present only when
+	// the retriever's miss path runs through a batch.Pipeline.
+	Batch *BatchStats `json:"batch,omitempty"`
+}
+
+// BatchStats is the miss-path coalescing/batching slice of the stats
+// payload.
+type BatchStats struct {
+	Searches       int64   `json:"searches"`
+	Coalesced      int64   `json:"coalesced"`
+	CoalesceRate   float64 `json:"coalesceRate"`
+	Flushes        int64   `json:"flushes"`
+	SizeFlushes    int64   `json:"sizeFlushes"`
+	TimeoutFlushes int64   `json:"timeoutFlushes"`
+	DrainFlushes   int64   `json:"drainFlushes"`
+	MeanBatchSize  float64 `json:"meanBatchSize"`
+	Errors         int64   `json:"errors"`
 }
 
 // ShardStat is one shard's slice of the stats payload.
@@ -128,6 +147,12 @@ type ShardStat struct {
 // satisfied by shard.ShardedCache.
 type pressureReporter interface {
 	Report() shard.PressureReport
+}
+
+// batchStatser is the counter view the miss-coalescing pipeline exposes;
+// satisfied by batch.Pipeline.
+type batchStatser interface {
+	Stats() batch.Stats
 }
 
 func (s *Server) handleRetrieve(w http.ResponseWriter, r *http.Request) {
@@ -187,13 +212,29 @@ func (s *Server) retrieve(w http.ResponseWriter, embedding vec.Vector) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	var batchStats *BatchStats
+	if bs, ok := s.cfg.Retriever.Searcher().(batchStatser); ok {
+		st := bs.Stats()
+		batchStats = &BatchStats{
+			Searches:       st.Searches,
+			Coalesced:      st.Coalesced,
+			CoalesceRate:   st.CoalesceRate(),
+			Flushes:        st.Flushes,
+			SizeFlushes:    st.SizeFlushes,
+			TimeoutFlushes: st.TimeoutFlushes,
+			DrainFlushes:   st.DrainFlushes,
+			MeanBatchSize:  st.MeanBatch(),
+			Errors:         st.Errors,
+		}
+	}
 	cache := s.cfg.Retriever.Cache()
 	if cache == nil {
-		writeJSON(w, http.StatusOK, StatsResponse{})
+		writeJSON(w, http.StatusOK, StatsResponse{Batch: batchStats})
 		return
 	}
 	st := cache.Stats()
 	resp := StatsResponse{
+		Batch:     batchStats,
 		Hits:      st.Hits,
 		Misses:    st.Misses,
 		HitRate:   st.HitRate(),

@@ -209,15 +209,18 @@ func (c *ShardedCache) ShardFor(q vec.Vector) int {
 	var h uint32
 	switch c.part {
 	case Fingerprint:
-		h = fingerprint(q)
+		h = FingerprintOf(q)
 	default:
 		h = c.hasher.Hash(q)
 	}
 	return int(h % uint32(len(c.shards)))
 }
 
-// fingerprint is FNV-1a over the embedding's float bits.
-func fingerprint(q vec.Vector) uint32 {
+// FingerprintOf is FNV-1a over the embedding's float bits — the exact-
+// match routing key. Shared with the batch pipeline (internal/batch),
+// which uses it both to spread misses across its queues and to detect
+// byte-identical in-flight duplicates.
+func FingerprintOf(q vec.Vector) uint32 {
 	const (
 		offset32 = 2166136261
 		prime32  = 16777619

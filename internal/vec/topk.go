@@ -100,6 +100,50 @@ func (h *maxHeap) Pop() interface{} {
 	return x
 }
 
+// TopKAcc incrementally selects the k closest items from a stream of
+// (id, dist) pairs, with the same (distance, ID) tie-breaking as TopK.
+// Batched index scans use one accumulator per query so a single pass over
+// the stored vectors can feed every query in the batch; because the
+// ordering is a total order, the result is independent of push order and
+// therefore exactly matches the per-query TopK selection.
+type TopKAcc struct {
+	h maxHeap
+	k int
+}
+
+// NewTopKAcc creates an accumulator retaining the k closest pushes.
+func NewTopKAcc(k int) *TopKAcc {
+	if k < 0 {
+		k = 0
+	}
+	return &TopKAcc{h: make(maxHeap, 0, k), k: k}
+}
+
+// Push offers one scored item to the accumulator.
+func (a *TopKAcc) Push(id int, dist float32) {
+	if a.k == 0 {
+		return
+	}
+	it := Scored{ID: id, Dist: dist}
+	if len(a.h) < a.k {
+		heap.Push(&a.h, it)
+		return
+	}
+	if less(it, a.h[0]) {
+		a.h[0] = it
+		heap.Fix(&a.h, 0)
+	}
+}
+
+// Result returns the retained items sorted ascending by (distance, ID).
+// The accumulator may be reused afterwards; the returned slice is fresh.
+func (a *TopKAcc) Result() []Scored {
+	out := make([]Scored, len(a.h))
+	copy(out, a.h)
+	sortScored(out)
+	return out
+}
+
 // IDs projects the ID column of a scored slice.
 func IDs(s []Scored) []int {
 	out := make([]int, len(s))

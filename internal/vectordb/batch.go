@@ -1,0 +1,107 @@
+package vectordb
+
+import (
+	"fmt"
+
+	"proximity/internal/vec"
+)
+
+// BatchDB extends DB with a batched search entry point. Batch-aware
+// indexes amortize per-query overheads — the flat index walks the stored
+// vectors once per batch, the IVF index probes each coarse cell once per
+// batch — which is what makes miss coalescing (internal/batch) pay off
+// under concurrent load.
+//
+// Implementations must return results identical to issuing Search per
+// query: same IDs, same distances, same (distance, ID) ordering. The
+// miss-coalescing batch queue (internal/batch) relies on this
+// equivalence to stay invisible to the retriever.
+type BatchDB interface {
+	DB
+	// SearchBatch returns, for each query, its k nearest documents,
+	// closest first. The result slice is parallel to qs.
+	SearchBatch(qs []vec.Vector, k int) ([][]vec.Scored, error)
+}
+
+// SearchBatch serves a batch of queries through db, using the native
+// batched path when the index implements BatchDB and falling back to one
+// Search call per query otherwise. A nil or empty batch returns nil.
+func SearchBatch(db DB, qs []vec.Vector, k int) ([][]vec.Scored, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	if b, ok := db.(BatchDB); ok {
+		return b.SearchBatch(qs, k)
+	}
+	return searchLoop(db, qs, k)
+}
+
+// Batched adapts any DB to BatchDB. Indexes that already implement the
+// batched path are returned unchanged; everything else gets the generic
+// per-query loop, so callers can depend on BatchDB uniformly.
+func Batched(db DB) BatchDB {
+	if b, ok := db.(BatchDB); ok {
+		return b
+	}
+	return &loopBatch{db}
+}
+
+// loopBatch is the generic fallback wrapper for non-batch-aware backends.
+type loopBatch struct {
+	DB
+}
+
+// SearchBatch implements BatchDB by looping Search.
+func (l *loopBatch) SearchBatch(qs []vec.Vector, k int) ([][]vec.Scored, error) {
+	return searchLoop(l.DB, qs, k)
+}
+
+// searchLoop issues one Search per query; the first error aborts the
+// whole batch so every waiter observes the same outcome.
+func searchLoop(db DB, qs []vec.Vector, k int) ([][]vec.Scored, error) {
+	out := make([][]vec.Scored, len(qs))
+	for i, q := range qs {
+		res, err := db.Search(q, k)
+		if err != nil {
+			return nil, fmt.Errorf("vectordb: batch query %d: %w", i, err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+var _ BatchDB = (*FlatIndex)(nil)
+
+// SearchBatch returns the exact k nearest neighbors of every query in one
+// pass over the stored vectors. The per-vector memory traversal — the
+// dominant cost of a flat scan — is paid once for the whole batch instead
+// of once per query; distance arithmetic is unchanged, so results match
+// per-query Search exactly.
+func (f *FlatIndex) SearchBatch(qs []vec.Vector, k int) ([][]vec.Scored, error) {
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	if len(f.vectors) == 0 {
+		return nil, ErrEmptyIndex
+	}
+	for i, q := range qs {
+		if len(q) != f.dim {
+			return nil, fmt.Errorf("vectordb: batch query %d dim %d, index dim %d: %w",
+				i, len(q), f.dim, vec.ErrDimensionMismatch)
+		}
+	}
+	accs := make([]*vec.TopKAcc, len(qs))
+	for i := range accs {
+		accs[i] = vec.NewTopKAcc(k)
+	}
+	for id, v := range f.vectors {
+		for qi, q := range qs {
+			accs[qi].Push(id, f.dist(q, v))
+		}
+	}
+	out := make([][]vec.Scored, len(qs))
+	for i, a := range accs {
+		out[i] = a.Result()
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package vectordb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"proximity/internal/vec"
+)
+
+// batchQueries draws a query mix that stresses the batched paths: random
+// probes, exact corpus members (distance-zero ties), and duplicates.
+func batchQueries(rng *rand.Rand, corpus []vec.Vector, n, dim int) []vec.Vector {
+	out := make([]vec.Vector, n)
+	for i := range out {
+		switch i % 3 {
+		case 0:
+			out[i] = vec.RandomGaussian(rng, dim)
+		case 1:
+			out[i] = corpus[rng.IntN(len(corpus))]
+		default: // i%3 == 2 implies i >= 2, so a filled slot exists
+			out[i] = out[rng.IntN(i)]
+		}
+	}
+	return out
+}
+
+// TestIVFSearchBatchEquivalence is the property test the batch queue
+// leans on: across randomized corpora, configurations, and k values,
+// IVFIndex.SearchBatch must return exactly what per-query Search returns
+// — same IDs, same distances, same order.
+func TestIVFSearchBatchEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			rng := vec.NewRand(seed)
+			n := 30 + rng.IntN(200)
+			dim := []int{4, 8, 16, 32}[rng.IntN(4)]
+			corpus := ivfRandomVectors(n, dim, seed+100)
+			ix, err := BuildIVF(corpus, vec.L2Distance, IVFConfig{
+				NList:  1 + rng.IntN(20),
+				NProbe: 1 + rng.IntN(6),
+				Seed:   seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs := batchQueries(rng, corpus, 25, dim)
+			for _, k := range []int{1, 3, 10, n + 5} {
+				got, err := ix.SearchBatch(qs, k)
+				if err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				if len(got) != len(qs) {
+					t.Fatalf("k=%d: %d results for %d queries", k, len(got), len(qs))
+				}
+				for qi, q := range qs {
+					want, err := ix.Search(q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got[qi], want) {
+						t.Fatalf("k=%d query %d: batch %v, single %v", k, qi, got[qi], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFlatSearchBatchEquivalence covers the one-pass flat scan the same
+// way.
+func TestFlatSearchBatchEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		rng := vec.NewRand(seed)
+		n := 10 + rng.IntN(80)
+		const dim = 8
+		corpus := ivfRandomVectors(n, dim, seed+200)
+		ix, err := NewFlatFromVectors(corpus, vec.L2Distance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := batchQueries(rng, corpus, 15, dim)
+		for _, k := range []int{1, 4, n + 2} {
+			got, err := ix.SearchBatch(qs, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range qs {
+				want, err := ix.Search(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got[qi], want) {
+					t.Fatalf("seed %d k=%d query %d: batch %v, single %v", seed, k, qi, got[qi], want)
+				}
+			}
+		}
+	}
+}
+
+// TestTopKPrefixConsistency pins the truncation contract the batch queue
+// relies on when a flush mixes k values: searching with a larger k and
+// keeping the first k' results equals searching with k' directly.
+func TestTopKPrefixConsistency(t *testing.T) {
+	rng := vec.NewRand(9)
+	corpus := ivfRandomVectors(150, 8, 42)
+	// Probe every list so the candidate pool always exceeds the largest
+	// k under test.
+	ix, err := BuildIVF(corpus, vec.L2Distance, IVFConfig{NList: 12, NProbe: 12, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		q := vec.RandomGaussian(rng, 8)
+		big, err := ix.Search(q, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 5, 12} {
+			small, err := ix.Search(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(big[:k], small) {
+				t.Fatalf("query %d: Search(12)[:%d] = %v, Search(%d) = %v", i, k, big[:k], k, small)
+			}
+		}
+	}
+}
+
+// fallbackOnly hides any native batch support so Batched() must wrap it.
+type fallbackOnly struct{ inner DB }
+
+func (f fallbackOnly) Search(q vec.Vector, k int) ([]vec.Scored, error) { return f.inner.Search(q, k) }
+func (f fallbackOnly) Dim() int                                         { return f.inner.Dim() }
+func (f fallbackOnly) Len() int                                         { return f.inner.Len() }
+
+// TestBatchedFallbackWrapper checks the generic loop wrapper: identical
+// results to the native path, via both the Batched adapter and the
+// package-level SearchBatch helper.
+func TestBatchedFallbackWrapper(t *testing.T) {
+	corpus := ivfRandomVectors(60, 8, 77)
+	ix, err := BuildIVF(corpus, vec.L2Distance, IVFConfig{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := vec.NewRand(78)
+	qs := batchQueries(rng, corpus, 12, 8)
+
+	native, err := ix.SearchBatch(qs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := Batched(fallbackOnly{ix})
+	if _, isNative := interface{}(wrapped).(*IVFIndex); isNative {
+		t.Fatal("Batched should have wrapped the non-batch-aware DB")
+	}
+	loop, err := wrapped.SearchBatch(qs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(native, loop) {
+		t.Error("fallback wrapper disagrees with native SearchBatch")
+	}
+	helper, err := SearchBatch(fallbackOnly{ix}, qs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(native, helper) {
+		t.Error("SearchBatch helper disagrees with native SearchBatch")
+	}
+	if got := Batched(ix); got != BatchDB(ix) {
+		t.Error("Batched should return a batch-aware DB unchanged")
+	}
+	if res, err := SearchBatch(ix, nil, 5); err != nil || res != nil {
+		t.Errorf("empty batch = (%v, %v), want (nil, nil)", res, err)
+	}
+}
+
+// TestSearchBatchValidation mirrors the single-query error contract.
+func TestSearchBatchValidation(t *testing.T) {
+	corpus := ivfRandomVectors(20, 4, 5)
+	ix, err := BuildIVF(corpus, vec.L2Distance, IVFConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.SearchBatch([]vec.Vector{corpus[0]}, 0); !errors.Is(err, ErrBadK) {
+		t.Errorf("k=0 error = %v, want ErrBadK", err)
+	}
+	if _, err := ix.SearchBatch([]vec.Vector{{1, 2}}, 3); !errors.Is(err, vec.ErrDimensionMismatch) {
+		t.Errorf("dim mismatch error = %v, want ErrDimensionMismatch", err)
+	}
+	flat, err := NewFlatFromVectors(corpus, vec.L2Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flat.SearchBatch([]vec.Vector{{1, 2}}, 3); !errors.Is(err, vec.ErrDimensionMismatch) {
+		t.Errorf("flat dim mismatch error = %v, want ErrDimensionMismatch", err)
+	}
+}

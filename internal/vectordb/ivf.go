@@ -122,13 +122,25 @@ func (ix *IVFIndex) SearchProbe(q vec.Vector, k, nprobe int) ([]vec.Scored, erro
 		return nil, fmt.Errorf("vectordb: ivf query dim %d, index dim %d: %w",
 			len(q), ix.dim, vec.ErrDimensionMismatch)
 	}
+	var candidates []vec.Scored
+	for _, c := range ix.probeSet(q, nprobe) {
+		for _, id := range ix.lists[c] {
+			candidates = append(candidates, vec.Scored{ID: id, Dist: ix.dist(q, ix.vectors[id])})
+		}
+	}
+	return vec.TopK(candidates, k), nil
+}
+
+// probeSet ranks the coarse centroids by distance to q and returns the
+// IDs of the nprobe closest (ties broken by centroid ID), the cells both
+// the single-query and the batched search scan.
+func (ix *IVFIndex) probeSet(q vec.Vector, nprobe int) []int {
 	if nprobe < 1 {
 		nprobe = 1
 	}
 	if nprobe > len(ix.centroid) {
 		nprobe = len(ix.centroid)
 	}
-	// Rank centroids by distance, scan the top lists.
 	cents := make([]vec.Scored, len(ix.centroid))
 	for c := range ix.centroid {
 		cents[c] = vec.Scored{ID: c, Dist: ix.dist(q, ix.centroid[c])}
@@ -139,13 +151,64 @@ func (ix *IVFIndex) SearchProbe(q vec.Vector, k, nprobe int) ([]vec.Scored, erro
 		}
 		return cents[i].ID < cents[j].ID
 	})
-	var candidates []vec.Scored
-	for _, c := range cents[:nprobe] {
-		for _, id := range ix.lists[c.ID] {
-			candidates = append(candidates, vec.Scored{ID: id, Dist: ix.dist(q, ix.vectors[id])})
+	out := make([]int, nprobe)
+	for i := range out {
+		out[i] = cents[i].ID
+	}
+	return out
+}
+
+var _ BatchDB = (*IVFIndex)(nil)
+
+// SearchBatch serves every query with the default probe count in one pass
+// over the probed inverted lists: each coarse cell that any query in the
+// batch probes is visited exactly once, and its vectors are scored
+// against all queries probing it while they are hot in cache. Per-query
+// probe sets and distances are identical to Search, and the (distance,
+// ID) total order makes the top-k selection insertion-order independent,
+// so results match per-query Search exactly.
+func (ix *IVFIndex) SearchBatch(qs []vec.Vector, k int) ([][]vec.Scored, error) {
+	return ix.SearchBatchProbe(qs, k, ix.nprobe)
+}
+
+// SearchBatchProbe is SearchBatch with an explicit probe count.
+func (ix *IVFIndex) SearchBatchProbe(qs []vec.Vector, k, nprobe int) ([][]vec.Scored, error) {
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	for i, q := range qs {
+		if len(q) != ix.dim {
+			return nil, fmt.Errorf("vectordb: ivf batch query %d dim %d, index dim %d: %w",
+				i, len(q), ix.dim, vec.ErrDimensionMismatch)
 		}
 	}
-	return vec.TopK(candidates, k), nil
+	// Invert the per-query probe sets into cell -> probing queries.
+	cellQueries := make([][]int, len(ix.centroid))
+	for qi, q := range qs {
+		for _, c := range ix.probeSet(q, nprobe) {
+			cellQueries[c] = append(cellQueries[c], qi)
+		}
+	}
+	accs := make([]*vec.TopKAcc, len(qs))
+	for i := range accs {
+		accs[i] = vec.NewTopKAcc(k)
+	}
+	for c, qids := range cellQueries {
+		if len(qids) == 0 {
+			continue
+		}
+		for _, id := range ix.lists[c] {
+			v := ix.vectors[id]
+			for _, qi := range qids {
+				accs[qi].Push(id, ix.dist(qs[qi], v))
+			}
+		}
+	}
+	out := make([][]vec.Scored, len(qs))
+	for i, a := range accs {
+		out[i] = a.Result()
+	}
+	return out, nil
 }
 
 // Dim returns the indexed dimensionality.

@@ -57,11 +57,32 @@
 // See examples/loadtest for a complete program and `proximity-bench
 // -experiment loadtest -shards N -concurrency K -qps Q` for the CLI
 // harness.
+//
+// # Miss coalescing and batched database search
+//
+// Under concurrent traffic every cache miss still pays a full database
+// search, and overlapping misses for the same (or a near-identical) query
+// race duplicate searches. NewBatchPipeline wires the two-layer remedy:
+// per-fingerprint singleflight (duplicate in-flight misses share one
+// search) over per-shard batch queues (concurrent unique misses gather
+// for up to a microsecond-scale deadline and flush as one SearchBatch
+// pass, amortizing index traversal). Plug it into a retriever through the
+// Searcher option:
+//
+//	pipe, _ := proximity.NewBatchPipeline(db, proximity.BatchOptions{})
+//	defer pipe.Close()
+//	retriever, _ := proximity.NewRetriever(cache, db, proximity.RetrieverOptions{
+//		K: 4, Searcher: pipe,
+//	})
+//
+// See examples/batched for the measured comparison and `proximity-bench
+// -experiment loadtest -batch` for the harness.
 package proximity
 
 import (
 	"io"
 
+	"proximity/internal/batch"
 	"proximity/internal/core"
 	"proximity/internal/embed"
 	"proximity/internal/loadgen"
@@ -140,6 +161,23 @@ type (
 	// LoadReport summarizes a run: throughput, hit rate, and the
 	// latency distribution.
 	LoadReport = loadgen.Report
+
+	// Searcher is the miss-path search hook of RetrieverOptions.
+	Searcher = core.Searcher
+	// BatchPipeline is the miss-coalescing batched retrieval path.
+	BatchPipeline = batch.Pipeline
+	// BatchOptions configures a BatchPipeline.
+	BatchOptions = batch.Options
+	// BatchStats are cumulative pipeline counters.
+	BatchStats = batch.Stats
+	// CoalesceMode selects duplicate-miss detection.
+	CoalesceMode = batch.CoalesceMode
+	// BatchDB is a vector database with a native batched search.
+	BatchDB = vectordb.BatchDB
+	// IVFIndex is the inverted-file ANN index (batch-aware).
+	IVFIndex = vectordb.IVFIndex
+	// IVFConfig parameterizes IVF construction.
+	IVFConfig = vectordb.IVFConfig
 )
 
 // Eviction policies.
@@ -158,6 +196,18 @@ const (
 	// FingerprintShards routes by a byte hash: perfectly uniform
 	// spread, but only exact repeats collide.
 	FingerprintShards = shard.Fingerprint
+)
+
+// Duplicate-miss coalescing modes.
+const (
+	// CoalesceExact deduplicates byte-identical in-flight misses (the
+	// default).
+	CoalesceExact = batch.CoalesceExact
+	// CoalesceLSH deduplicates misses with equal LSH signatures, so
+	// near-identical rephrasings share one search.
+	CoalesceLSH = batch.CoalesceLSH
+	// CoalesceOff disables singleflight; only batching applies.
+	CoalesceOff = batch.CoalesceOff
 )
 
 // Load-generation traffic modes.
@@ -227,6 +277,27 @@ func NewShardedFlatCache(dim, shards int, opts Options, seed uint64) (*ShardedCa
 // full bucket geometry.
 func NewShardedLSHCache(dim, shards int, opts LSHOptions) (*ShardedCache, error) {
 	return shard.NewLSH(dim, shards, opts)
+}
+
+// NewBatchPipeline creates the miss-coalescing batched search path over a
+// database. Wire it into NewRetriever through RetrieverOptions.Searcher
+// (it also satisfies DB directly). Call Close when done to drain the
+// queues.
+func NewBatchPipeline(db DB, opts BatchOptions) (*BatchPipeline, error) {
+	return batch.New(db, opts)
+}
+
+// NewIVFIndex clusters a vector corpus into an inverted-file index — the
+// batch-aware substrate whose SearchBatch probes each coarse cell once
+// per batch.
+func NewIVFIndex(vectors []Vector, metric Metric, cfg IVFConfig) (*IVFIndex, error) {
+	return vectordb.BuildIVF(vectors, metric, cfg)
+}
+
+// BatchedDB adapts any DB to BatchDB, using the native batched path when
+// present and a per-query loop otherwise.
+func BatchedDB(db DB) BatchDB {
+	return vectordb.Batched(db)
 }
 
 // NewRetrieverTarget adapts a Retriever for the load generator.

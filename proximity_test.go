@@ -160,3 +160,68 @@ func TestPublicShardingAndLoad(t *testing.T) {
 		t.Errorf("LSH NumShards = %d, want 2", lshCache.NumShards())
 	}
 }
+
+// TestPublicBatchPipeline exercises the miss-coalescing facade: an IVF
+// index, a batch pipeline wired through RetrieverOptions.Searcher, and
+// the stats/adapters the docs advertise.
+func TestPublicBatchPipeline(t *testing.T) {
+	const dim = 32
+	enc := NewEmbedder(dim, 3, nil)
+	var corpus []Vector
+	for i := 0; i < 40; i++ {
+		corpus = append(corpus, enc.Embed("passage number "+string(rune('a'+i%26))))
+	}
+	db, err := NewIVFIndex(corpus, L2Distance, IVFConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pipe, err := NewBatchPipeline(db, BatchOptions{Queues: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := NewFlatCache(dim, Options{Capacity: 8, Tolerance: 1, Policy: LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retr, err := NewRetriever(cache, db, RetrieverOptions{K: 2, Searcher: pipe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := retr.Retrieve(enc.Embed("passage number a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit || len(res.Docs) != 2 {
+		t.Fatalf("first retrieval = %+v, want a 2-doc miss", res)
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := pipe.Stats(); st.Searches != 1 || st.Flushes != 1 {
+		t.Errorf("pipeline stats = %+v, want 1 search in 1 flush", st)
+	}
+
+	// The adapter surfaces: a batch-aware DB passes through, and the
+	// batched results match per-query search.
+	bdb := BatchedDB(db)
+	qs := []Vector{corpus[0], corpus[1]}
+	batched, err := bdb.SearchBatch(qs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		single, err := db.Search(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batched[i]) != len(single) {
+			t.Fatalf("query %d: batch %v vs single %v", i, batched[i], single)
+		}
+		for j := range single {
+			if batched[i][j] != single[j] {
+				t.Fatalf("query %d result %d: %v vs %v", i, j, batched[i][j], single[j])
+			}
+		}
+	}
+}
