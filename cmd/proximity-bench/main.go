@@ -4,7 +4,7 @@
 //
 //	proximity-bench [-quick] [-seeds N] [-experiment LIST]
 //	proximity-bench -experiment loadtest [-shards N] [-concurrency K] [-qps Q]
-//	    [-batch] [-batch-size B] [-batch-timeout D]
+//	    [-batch] [-batch-size B] [-batch-timeout D] [-cluster N]
 //
 // where LIST is a comma-separated subset of
 // fig2,fig3,fig6-mmlu,fig6-medrag,fig7,fig8,fig9,fig10,fig11,fig12,opcount,
@@ -17,6 +17,9 @@
 // -concurrency workers, plus an open-loop latency probe when -qps is set.
 // With -batch it additionally A/B-tests the miss path — direct searches
 // vs. the miss-coalescing batched pipeline — over the same IVF index.
+// With -cluster N it A/B-tests distribution: the in-process sharded
+// cache vs. N loopback HTTP shard nodes behind the consistent-hash
+// router, reporting per-node hit/miss and batch-submitter stats.
 package main
 
 import (
@@ -73,6 +76,7 @@ func run(args []string) error {
 		concurrency  = fs.Int("concurrency", 0, "loadtest: closed-loop workers (0 = one per CPU)")
 		qps          = fs.Float64("qps", 0, "loadtest: add an open-loop pass at this offered load (with -batch, also overrides the A/B's self-calibrated rate)")
 		batchOn      = fs.Bool("batch", false, "loadtest: add the batched-vs-unbatched miss-path comparison")
+		clusterN     = fs.Int("cluster", 0, "loadtest: add the distributed A/B against this many loopback HTTP shard nodes")
 		batchSize    = fs.Int("batch-size", 0, "loadtest: batch pipeline flush size (0 = default)")
 		batchTimeout = fs.Duration("batch-timeout", 0, "loadtest: batch pipeline flush deadline (0 = default)")
 	)
@@ -86,6 +90,7 @@ func run(args []string) error {
 			Concurrency:  *concurrency,
 			QPS:          *qps,
 			Batch:        *batchOn,
+			Cluster:      *clusterN,
 			MaxBatch:     *batchSize,
 			BatchTimeout: *batchTimeout,
 		})

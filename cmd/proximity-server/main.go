@@ -8,9 +8,23 @@
 //	proximity-server [-addr :8080] [-cache lsh|flat|none] [-tau 5]
 //	                 [-capacity 200] [-bits 8] [-policy lru|fifo]
 //	                 [-topics 20] [-docs-per-topic 20] [-dim 768]
+//	proximity-server -node [-addr :8081] ...
+//	proximity-server -peers http://h1:8081,http://h2:8081 [-replicas 2]
 //
 // Endpoints: POST /v1/query {"text": ...}, POST /v1/retrieve
-// {"embedding": [...]}, GET /v1/stats, POST /v1/flush, GET /healthz.
+// {"embedding": [...]}, POST /v1/retrieve/batch {"embeddings": [[...]]},
+// GET /v1/stats, POST /v1/flush, GET /healthz.
+//
+// # Cluster deployment
+//
+// A distributed cache tier runs one -node middleware per shard host plus
+// a -peers router in front (see internal/cluster): the router
+// consistent-hashes each query to its owning node's batched endpoint,
+// retries the next ring replica when a node fails (5xx/transport), and
+// degrades to its own local database when every replica is down. -node
+// is the plain middleware — the flag only marks the role in logs — so
+// every node serves the same corpus; -peers replaces the local cache
+// with the cluster client (the -cache flags are ignored in router mode).
 package main
 
 import (
@@ -18,7 +32,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
+	"proximity/internal/cluster"
 	"proximity/internal/core"
 	"proximity/internal/dataset"
 	"proximity/internal/server"
@@ -50,9 +66,15 @@ func run(args []string) error {
 		questions = fs.Int("questions", 100, "synthetic questions (adds gold passages)")
 		dim       = fs.Int("dim", 768, "embedding dimensionality")
 		seed      = fs.Uint64("seed", 1, "generation seed")
+		nodeMode  = fs.Bool("node", false, "run as a cluster shard node (plain middleware; marks the role in logs)")
+		peers     = fs.String("peers", "", "run as a cluster router over this comma-separated shard-node list")
+		replicas  = fs.Int("replicas", cluster.DefaultReplicas, "router: distinct nodes tried per query before local fallback")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *nodeMode && *peers != "" {
+		return fmt.Errorf("-node and -peers are mutually exclusive: a process is a shard node or the router, not both")
 	}
 	policy, err := core.ParsePolicy(*policyStr)
 	if err != nil {
@@ -77,15 +99,33 @@ func run(args []string) error {
 	}
 
 	var cache core.Cache
-	switch *cacheKind {
-	case "none":
-	case "flat":
+	switch {
+	case *peers != "":
+		// Router mode: the cluster client is the cache; the local
+		// database serves only degraded-mode fallbacks. Every peer must
+		// be a -node middleware over the same corpus configuration.
+		bases := strings.Split(*peers, ",")
+		for i := range bases {
+			bases[i] = strings.TrimSpace(bases[i])
+		}
+		cc, err := cluster.New(*dim, bases, cluster.Options{
+			Seed:     *seed,
+			Replicas: *replicas,
+		})
+		if err != nil {
+			return err
+		}
+		defer cc.Close()
+		cache = cc
+		*cacheKind = fmt.Sprintf("cluster(%d nodes)", len(bases))
+	case *cacheKind == "none":
+	case *cacheKind == "flat":
 		cache, err = core.NewFlat(*dim, core.Options{
 			Capacity:  *capacity,
 			Tolerance: float32(*tau),
 			Policy:    policy,
 		})
-	case "lsh":
+	case *cacheKind == "lsh":
 		cache, err = core.NewLSH(*dim, core.LSHOptions{
 			Bits:           *bitsL,
 			BucketCapacity: *bucket,
@@ -116,9 +156,16 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	role := "middleware"
+	switch {
+	case *nodeMode:
+		role = "shard node"
+	case *peers != "":
+		role = "cluster router"
+	}
 	return srv.ListenAndServe(*addr, func(bound string) {
-		log.Printf("proximity middleware serving %d passages on %s (cache=%s τ=%v)",
-			db.Len(), bound, *cacheKind, *tau)
+		log.Printf("proximity %s serving %d passages on %s (cache=%s τ=%v)",
+			role, db.Len(), bound, *cacheKind, *tau)
 	})
 }
 

@@ -216,6 +216,24 @@ func (p *Pipeline) Close() error {
 	return nil
 }
 
+// Reset flushes every queue's gathered batch immediately and zeroes all
+// pipeline counters (queues and coalescer). The pipeline stays open.
+// The server's cache-flush endpoint calls this so a flushed deployment
+// reports a clean slate: without it, /v1/stats would keep pre-flush batch
+// counters and pending pre-flush waiters alive across the flush.
+// Coalescer flights already in progress complete normally — their
+// waiters still receive results — but no longer count toward the zeroed
+// statistics.
+func (p *Pipeline) Reset() {
+	for _, q := range p.queues {
+		q.FlushNow()
+		q.ResetStats()
+	}
+	if p.co != nil {
+		p.co.ResetStats()
+	}
+}
+
 // Dim implements vectordb.DB.
 func (p *Pipeline) Dim() int { return p.db.Dim() }
 

@@ -2,7 +2,6 @@ package batch
 
 import (
 	"errors"
-	"sync"
 	"time"
 
 	"proximity/internal/vec"
@@ -12,6 +11,9 @@ import (
 // ErrClosed is returned by Search calls issued after Close.
 var ErrClosed = errors.New("batch: queue closed")
 
+// errNilFlush guards NewCollector.
+var errNilFlush = errors.New("batch: collector requires a flush function")
+
 // DefaultMaxBatch is the flush size when QueueOptions.MaxBatch is zero.
 const DefaultMaxBatch = 16
 
@@ -20,7 +22,7 @@ const DefaultMaxBatch = 16
 // invisible next to a production database search.
 const DefaultTimeout = 200 * time.Microsecond
 
-// QueueOptions configures a Queue.
+// QueueOptions configures a Queue (and the generic Collector behind it).
 type QueueOptions struct {
 	// MaxBatch flushes the pending batch as soon as it reaches this
 	// size. Defaults to DefaultMaxBatch.
@@ -49,15 +51,15 @@ func (o *QueueOptions) fillDefaults() {
 type QueueStats struct {
 	// Enqueued is the number of Search calls accepted.
 	Enqueued int64
-	// Flushes is the number of SearchBatch calls issued.
+	// Flushes is the number of batch flushes issued.
 	Flushes int64
 	// SizeFlushes counts flushes triggered by reaching MaxBatch.
 	SizeFlushes int64
 	// TimeoutFlushes counts flushes triggered by the batch timer.
 	TimeoutFlushes int64
-	// DrainFlushes counts the final flush Close performs (0 or 1).
+	// DrainFlushes counts flushes forced by Close or FlushNow.
 	DrainFlushes int64
-	// Errors counts Search calls that returned a database error.
+	// Errors counts Search calls that returned a backend error.
 	Errors int64
 }
 
@@ -69,32 +71,22 @@ func (s QueueStats) MeanBatch() float64 {
 	return float64(s.Enqueued) / float64(s.Flushes)
 }
 
-// waiter is one pending Search call.
-type waiter struct {
-	q  vec.Vector
-	k  int
-	ch chan flushResult
-}
-
-type flushResult struct {
-	res []vec.Scored
-	err error
+// searchReq is one pending Search call's request.
+type searchReq struct {
+	q vec.Vector
+	k int
 }
 
 // Queue collects concurrent Search calls and serves each gathered batch
 // with a single vectordb.SearchBatch pass. A batch flushes when it
 // reaches MaxBatch, when Timeout elapses after its first request, or
 // when the queue is closed (drain); a database error fans out to every
-// waiter of the affected flush. All methods are safe for concurrent use.
+// waiter of the affected flush. The gather/flush machinery is the generic
+// Collector; this type binds it to the vector-search request shape. All
+// methods are safe for concurrent use.
 type Queue struct {
-	db   vectordb.DB
-	opts QueueOptions
-
-	mu      sync.Mutex
-	pending []waiter
-	gen     uint64 // bumped on every flush; stale timers check it
-	closed  bool
-	stats   QueueStats
+	db vectordb.DB
+	c  *Collector[searchReq, []vec.Scored]
 }
 
 // NewQueue creates a batch queue in front of db.
@@ -102,8 +94,13 @@ func NewQueue(db vectordb.DB, opts QueueOptions) (*Queue, error) {
 	if db == nil {
 		return nil, errors.New("batch: queue requires a database")
 	}
-	opts.fillDefaults()
-	return &Queue{db: db, opts: opts}, nil
+	b := &Queue{db: db}
+	c, err := NewCollector(b.flush, opts)
+	if err != nil {
+		return nil, err
+	}
+	b.c = c
+	return b, nil
 }
 
 // Search enqueues the query and blocks until its batch is served,
@@ -112,98 +109,25 @@ func (b *Queue) Search(q vec.Vector, k int) ([]vec.Scored, error) {
 	if k <= 0 {
 		return nil, vectordb.ErrBadK
 	}
-	ch := make(chan flushResult, 1)
-
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
-		return nil, ErrClosed
-	}
-	b.pending = append(b.pending, waiter{q: q, k: k, ch: ch})
-	b.stats.Enqueued++
-	switch {
-	case len(b.pending) >= b.opts.MaxBatch:
-		ws := b.take()
-		b.stats.SizeFlushes++
-		b.mu.Unlock()
-		b.flush(ws)
-	case len(b.pending) == 1:
-		// First request of a fresh batch: arm its flush timer.
-		gen := b.gen
-		timer := b.opts.Clock.After(b.opts.Timeout)
-		b.mu.Unlock()
-		go b.awaitTimer(gen, timer)
-	default:
-		b.mu.Unlock()
-	}
-
-	r := <-ch
-	return r.res, r.err
+	return b.c.Do(searchReq{q: q, k: k})
 }
 
 // Close drains the pending batch and rejects subsequent Search calls with
 // ErrClosed. Waiters of the drained batch receive their results.
-func (b *Queue) Close() error {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
-		return nil
-	}
-	b.closed = true
-	ws := b.take()
-	if len(ws) > 0 {
-		b.stats.DrainFlushes++
-	}
-	b.mu.Unlock()
-	if len(ws) > 0 {
-		b.flush(ws)
-	}
-	return nil
-}
+func (b *Queue) Close() error { return b.c.Close() }
+
+// FlushNow flushes whatever has gathered without waiting for the size or
+// timeout trigger. The queue stays open.
+func (b *Queue) FlushNow() { b.c.FlushNow() }
 
 // Stats returns a snapshot of the cumulative counters.
-func (b *Queue) Stats() QueueStats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.stats
-}
+func (b *Queue) Stats() QueueStats { return b.c.Stats() }
+
+// ResetStats zeroes the cumulative counters.
+func (b *Queue) ResetStats() { b.c.ResetStats() }
 
 // Pending returns the current batch occupancy, for diagnostics and tests.
-func (b *Queue) Pending() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.pending)
-}
-
-// take removes the pending batch and invalidates its timer, counting the
-// flush in the same critical section as the caller's trigger counter so
-// Stats snapshots always see the trigger breakdown sum to Flushes.
-// Callers hold b.mu.
-func (b *Queue) take() []waiter {
-	ws := b.pending
-	b.pending = nil
-	b.gen++
-	if len(ws) > 0 {
-		b.stats.Flushes++
-	}
-	return ws
-}
-
-// awaitTimer flushes the batch of generation gen when its timer fires; if
-// that batch already flushed (by size or drain), the generation moved on
-// and the timer is stale.
-func (b *Queue) awaitTimer(gen uint64, timer <-chan time.Time) {
-	<-timer
-	b.mu.Lock()
-	if b.gen != gen || len(b.pending) == 0 {
-		b.mu.Unlock()
-		return
-	}
-	ws := b.take()
-	b.stats.TimeoutFlushes++
-	b.mu.Unlock()
-	b.flush(ws)
-}
+func (b *Queue) Pending() int { return b.c.Pending() }
 
 // flush serves one gathered batch, issuing one SearchBatch call per
 // distinct k so every waiter gets exactly what a direct db.Search(q, k)
@@ -211,30 +135,30 @@ func (b *Queue) awaitTimer(gen uint64, timer <-chan time.Time) {
 // would silently change results on beam-width-sensitive indexes (HNSW,
 // Vamana), whose candidate sets depend on k. In the steady state every
 // waiter shares the retriever's ρ·K, so this is one call per flush. An
-// error fans out to every waiter of the affected SearchBatch call.
-func (b *Queue) flush(ws []waiter) {
+// error fans out to every waiter of the affected SearchBatch call, not
+// the whole flush.
+func (b *Queue) flush(reqs []searchReq) []Outcome[[]vec.Scored] {
 	// Group waiters by k, preserving arrival order within each group.
-	byK := make(map[int][]waiter, 1)
-	for _, w := range ws {
-		byK[w.k] = append(byK[w.k], w)
+	byK := make(map[int][]int, 1)
+	for i, r := range reqs {
+		byK[r.k] = append(byK[r.k], i)
 	}
-	for k, group := range byK {
-		qs := make([]vec.Vector, len(group))
-		for i, w := range group {
-			qs[i] = w.q
+	outs := make([]Outcome[[]vec.Scored], len(reqs))
+	for k, idxs := range byK {
+		qs := make([]vec.Vector, len(idxs))
+		for i, ri := range idxs {
+			qs[i] = reqs[ri].q
 		}
 		res, err := vectordb.SearchBatch(b.db, qs, k)
 		if err != nil {
-			b.mu.Lock()
-			b.stats.Errors += int64(len(group))
-			b.mu.Unlock()
-			for _, w := range group {
-				w.ch <- flushResult{err: err}
+			for _, ri := range idxs {
+				outs[ri] = Outcome[[]vec.Scored]{Err: err}
 			}
 			continue
 		}
-		for i, w := range group {
-			w.ch <- flushResult{res: res[i]}
+		for i, ri := range idxs {
+			outs[ri] = Outcome[[]vec.Scored]{Res: res[i]}
 		}
 	}
+	return outs
 }

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per real node when
+// Options.VNodes is zero. Each node owns VNodes arcs of the hash circle,
+// smoothing the load split: with ~100 vnodes the expected per-node share
+// deviates from 1/N by only a few percent, and a leaving node's arcs
+// scatter across all survivors instead of dumping onto one successor.
+const DefaultVNodes = 100
+
+// Ring is an immutable consistent-hash ring over named nodes. Keys are
+// the 32-bit routing fingerprints the in-process partitioner already uses
+// (shard.FingerprintOf or an LSH signature); each key owns the arc ending
+// at the next virtual-node point clockwise. Membership changes build a
+// new Ring (see WithNode/WithoutNode), so lookups never lock.
+type Ring struct {
+	vnodes int
+	nodes  []string // sorted distinct node IDs
+	points []ringPoint
+}
+
+// ringPoint is one virtual node: a position on the circle owned by a real
+// node.
+type ringPoint struct {
+	pos  uint64
+	node int // index into nodes
+}
+
+// NewRing builds a ring over the given node IDs with vnodes virtual
+// nodes each (0 = DefaultVNodes). Node IDs must be non-empty and
+// distinct; order does not matter — the same membership always builds
+// the same ring.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring requires at least one node")
+	}
+	if vnodes < 0 {
+		return nil, fmt.Errorf("cluster: vnode count must be non-negative, got %d", vnodes)
+	}
+	if vnodes == 0 {
+		vnodes = DefaultVNodes
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	for i, n := range sorted {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node ID")
+		}
+		if i > 0 && sorted[i-1] == n {
+			return nil, fmt.Errorf("cluster: duplicate node ID %q", n)
+		}
+	}
+	r := &Ring{
+		vnodes: vnodes,
+		nodes:  sorted,
+		points: make([]ringPoint, 0, len(sorted)*vnodes),
+	}
+	for ni, n := range r.nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{pos: vnodePos(n, v), node: ni})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.pos != b.pos {
+			return a.pos < b.pos
+		}
+		// Identical positions (astronomically rare) tie-break by node so
+		// the ring stays a pure function of its membership.
+		return a.node < b.node
+	})
+	return r, nil
+}
+
+// WithNode returns a new ring with the node added.
+func (r *Ring) WithNode(node string) (*Ring, error) {
+	return NewRing(append(append([]string(nil), r.nodes...), node), r.vnodes)
+}
+
+// WithoutNode returns a new ring with the node removed.
+func (r *Ring) WithoutNode(node string) (*Ring, error) {
+	rest := make([]string, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		if n != node {
+			rest = append(rest, n)
+		}
+	}
+	if len(rest) == len(r.nodes) {
+		return nil, fmt.Errorf("cluster: node %q not in ring", node)
+	}
+	return NewRing(rest, r.vnodes)
+}
+
+// Nodes returns the ring membership, sorted.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// Len returns the number of real nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// VNodes returns the virtual-node count per real node.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Primary returns the node that owns the key: the owner of the first
+// virtual node at or clockwise of the key's position.
+func (r *Ring) Primary(key uint32) string {
+	return r.nodes[r.points[r.start(key)].node]
+}
+
+// Lookup returns every node in replica order for the key: the primary
+// first, then each distinct node encountered walking the ring clockwise.
+// Successive entries are the retry targets when earlier ones fail — the
+// walk visits all nodes, so a caller can degrade through the whole
+// cluster.
+func (r *Ring) Lookup(key uint32) []string {
+	out := make([]string, 0, len(r.nodes))
+	seen := make([]bool, len(r.nodes))
+	for i, start := 0, r.start(key); i < len(r.points) && len(out) < len(r.nodes); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.nodes[p.node])
+		}
+	}
+	return out
+}
+
+// start returns the index of the first virtual node at or clockwise of
+// the key's ring position.
+func (r *Ring) start(key uint32) int {
+	pos := keyPos(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		i = 0 // wrap past the last point back to the ring start
+	}
+	return i
+}
+
+// vnodePos places virtual node v of a node on the circle. FNV alone has
+// weak avalanche on short, similar inputs ("n1#0", "n1#1", …), which
+// visibly skews arc lengths; the splitmix64 finalizer restores a uniform
+// spread.
+func vnodePos(node string, v int) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(node))
+	_, _ = h.Write([]byte{'#', byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+	return mix64(h.Sum64())
+}
+
+// keyPos spreads a 32-bit routing fingerprint over the 64-bit circle.
+// Fingerprints are FNV-mixed already but LSH signatures occupy only the
+// low SignatureBits, so the key is re-mixed either way.
+func keyPos(key uint32) uint64 {
+	return mix64(uint64(key))
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection on
+// 64-bit words.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"proximity/internal/cluster"
+	"proximity/internal/core"
+	"proximity/internal/loadgen"
+	"proximity/internal/server"
+	"proximity/internal/shard"
+)
+
+// ClusterCompare is the distribution A/B: the same Zipf serving workload
+// replayed against a single-process sharded cache and against a ring of
+// loopback shard NODES (each a full HTTP middleware with its own cache
+// slice), both over the same database — closed loop to measure each
+// configuration's capacity, then open loop at a self-calibrated rate
+// between the two.
+//
+// On one machine the cluster pays the HTTP+JSON protocol tax without
+// buying real parallelism (the nodes share the host's cores), so the
+// loopback numbers quantify the distribution overhead, not the scale-out
+// win; the win arrives when the nodes live on separate hosts and the
+// capacity multiplies instead of dividing.
+type ClusterCompare struct {
+	// Nodes is the shard-node count (and the baseline's shard count).
+	Nodes int
+	// LocalCap and ClusterCap are the closed-loop achieved QPS of each
+	// configuration.
+	LocalCap   float64
+	ClusterCap float64
+	// QPS is the fixed open-loop offered load (the geometric mean of
+	// the capacities unless overridden).
+	QPS     float64
+	Local   *loadgen.Report
+	Cluster *loadgen.Report
+	// Router holds the cluster client's routing counters and Status the
+	// per-node view (remote hit/miss, occupancy, and this client's
+	// per-node batch-submitter counters), both restricted to the
+	// open-loop pass: the capacity probe's traffic is subtracted out so
+	// the table describes the run the latency numbers describe.
+	Router cluster.RouterStats
+	Status []cluster.NodeStatus
+}
+
+// Render formats the comparison with per-node hit/miss and batch stats.
+func (c *ClusterCompare) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "distributed shard routing comparison (%d loopback nodes)\n", c.Nodes)
+	fmt.Fprintf(&b, "closed-loop capacity: in-process %.0f qps, cluster %.0f qps (%+.1f%% — loopback protocol tax)\n",
+		c.LocalCap, c.ClusterCap, 100*(c.ClusterCap-c.LocalCap)/c.LocalCap)
+	fmt.Fprintf(&b, "open loop @ %.0f qps:\n", c.QPS)
+	b.WriteString("--- in-process shards ---\n")
+	b.WriteString(c.Local.Render())
+	b.WriteString("--- cluster nodes ---\n")
+	b.WriteString(c.Cluster.Render())
+	fmt.Fprintf(&b, "router (open-loop pass): %d served (%d remote hits), %d retried, %d failed\n",
+		c.Router.Served, c.Router.RemoteHits, c.Router.Retried, c.Router.Failed)
+	for i, ns := range c.Status {
+		hitRate := 0.0
+		if lookups := ns.Remote.Hits + ns.Remote.Misses; lookups > 0 {
+			hitRate = float64(ns.Remote.Hits) / float64(lookups)
+		}
+		fmt.Fprintf(&b, "node %d %-24s healthy=%-5v hits=%-6d misses=%-6d hitRate=%.3f entries=%d/%d | batch: %d flushes, mean %.2f\n",
+			i, ns.Node, ns.Healthy, ns.Remote.Hits, ns.Remote.Misses, hitRate,
+			ns.Remote.Entries, ns.Remote.Capacity, ns.Submit.Flushes, ns.Submit.MeanBatch())
+	}
+	return b.String()
+}
+
+// clusterCompare runs the distribution A/B for LoadTest. Both sides
+// replay the same workload with the same worker pool and seeds over the
+// same MedRAG database; the only variable is whether cache partitions
+// are in-process sub-caches or HTTP shard nodes behind the consistent-
+// hash router.
+func (s *Suite) clusterCompare(opts LoadTestOptions) (*ClusterCompare, error) {
+	w, err := s.zipfWorkload(s.cfg.BaseSeed + 1000)
+	if err != nil {
+		return nil, err
+	}
+	_, _, db, err := s.MedRAG()
+	if err != nil {
+		return nil, err
+	}
+	nodes := opts.Cluster
+
+	// Baseline: the in-process sharded cache with one shard per node.
+	newLocalTarget := func() (loadgen.Target, error) {
+		cache, err := shard.NewFlat(s.cfg.Dim, nodes, core.Options{
+			Capacity:  s.cfg.ZipfFlatCapacity,
+			Tolerance: 5,
+			Policy:    core.LRU,
+		}, s.cfg.BaseSeed+2000)
+		if err != nil {
+			return nil, err
+		}
+		retr, err := core.NewCachedRetriever(cache, db, core.RetrieverOptions{K: 4})
+		if err != nil {
+			return nil, err
+		}
+		return loadgen.NewRetrieverTarget(retr)
+	}
+
+	// Cluster: one middleware node per shard, each owning an equal
+	// slice of the total capacity, behind the ring router.
+	per := s.cfg.ZipfFlatCapacity / nodes
+	if s.cfg.ZipfFlatCapacity%nodes != 0 {
+		per++
+	}
+	bases := make([]string, nodes)
+	stops := make([]func() error, 0, nodes)
+	defer func() {
+		for _, stop := range stops {
+			_ = stop()
+		}
+	}()
+	for i := range bases {
+		cache, err := core.NewFlat(s.cfg.Dim, core.Options{
+			Capacity:  per,
+			Tolerance: 5,
+			Policy:    core.LRU,
+		})
+		if err != nil {
+			return nil, err
+		}
+		retr, err := core.NewCachedRetriever(cache, db, core.RetrieverOptions{K: 4})
+		if err != nil {
+			return nil, err
+		}
+		srv, err := server.New(server.Config{Retriever: retr})
+		if err != nil {
+			return nil, err
+		}
+		bound, stop, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		stops = append(stops, stop)
+		bases[i] = "http://" + bound
+	}
+	client, err := cluster.New(s.cfg.Dim, bases, cluster.Options{
+		Seed:         s.cfg.BaseSeed + 2000,
+		MaxBatch:     opts.MaxBatch,
+		BatchTimeout: opts.BatchTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+	newClusterTarget := func() (loadgen.Target, error) {
+		// The cluster client is the cache; the local database is the
+		// degraded-mode fallback (unused while all nodes answer).
+		retr, err := core.NewCachedRetriever(client, db, core.RetrieverOptions{K: 4})
+		if err != nil {
+			return nil, err
+		}
+		return loadgen.NewRetrieverTarget(retr)
+	}
+
+	// The cluster target blocks on loopback round trips (and inside the
+	// submitter gather window), so the worker pool must comfortably
+	// exceed the node count for requests to overlap and batches to form
+	// — a single worker would serialize the ring into an RTT benchmark.
+	// Both sides get the same pool for fairness.
+	workers := opts.Concurrency
+	if min := 4 * nodes; workers < min {
+		workers = min
+	}
+	run := func(newTarget func() (loadgen.Target, error), mode loadgen.Mode, qps float64) (*loadgen.Report, error) {
+		target, err := newTarget()
+		if err != nil {
+			return nil, err
+		}
+		return loadgen.Run(target, w, loadgen.Options{
+			Mode:    mode,
+			Workers: workers,
+			QPS:     qps,
+			Seed:    s.cfg.BaseSeed + 3000,
+		})
+	}
+
+	cmp := &ClusterCompare{Nodes: nodes}
+
+	// Phase 1: closed-loop capacity probes (fresh caches each side).
+	local, err := run(newLocalTarget, loadgen.ClosedLoop, 0)
+	if err != nil {
+		return nil, fmt.Errorf("in-process capacity probe: %w", err)
+	}
+	cmp.LocalCap = local.AchievedQPS
+	clusterCap, err := run(newClusterTarget, loadgen.ClosedLoop, 0)
+	if err != nil {
+		return nil, fmt.Errorf("cluster capacity probe: %w", err)
+	}
+	cmp.ClusterCap = clusterCap.AchievedQPS
+
+	// Phase 2: open loop at the capacity midpoint (or the explicit
+	// override). Node caches are flushed so both passes start cold.
+	qps := opts.QPS
+	if qps <= 0 {
+		qps = math.Sqrt(cmp.LocalCap * cmp.ClusterCap)
+	}
+	cmp.QPS = qps
+	if cmp.Local, err = run(newLocalTarget, loadgen.OpenLoop, qps); err != nil {
+		return nil, fmt.Errorf("in-process open-loop pass: %w", err)
+	}
+	client.Clear()
+	// Clear resets node cache entries but counters are cumulative, so
+	// snapshot before the pass and report deltas: the table must
+	// describe the open-loop run, not the capacity probe's leftovers.
+	routerBefore := client.RouterStats()
+	statusBefore := client.Status()
+	if cmp.Cluster, err = run(newClusterTarget, loadgen.OpenLoop, qps); err != nil {
+		return nil, fmt.Errorf("cluster open-loop pass: %w", err)
+	}
+
+	cmp.Router = routerDelta(client.RouterStats(), routerBefore)
+	cmp.Status = statusDelta(client.Status(), statusBefore)
+	return cmp, nil
+}
+
+// routerDelta subtracts an earlier routing-counter snapshot.
+func routerDelta(after, before cluster.RouterStats) cluster.RouterStats {
+	return cluster.RouterStats{
+		Served:     after.Served - before.Served,
+		Retried:    after.Retried - before.Retried,
+		Failed:     after.Failed - before.Failed,
+		RemoteHits: after.RemoteHits - before.RemoteHits,
+	}
+}
+
+// statusDelta subtracts an earlier per-node snapshot's cumulative
+// counters (remote hits/misses/evictions and submitter totals), keyed by
+// node; point-in-time fields (health, entries, capacity) keep their
+// after values. Nodes absent from the earlier snapshot pass through
+// unchanged.
+func statusDelta(after, before []cluster.NodeStatus) []cluster.NodeStatus {
+	prev := make(map[string]cluster.NodeStatus, len(before))
+	for _, ns := range before {
+		prev[ns.Node] = ns
+	}
+	out := make([]cluster.NodeStatus, len(after))
+	for i, ns := range after {
+		if b, ok := prev[ns.Node]; ok {
+			ns.Remote.Hits -= b.Remote.Hits
+			ns.Remote.Misses -= b.Remote.Misses
+			ns.Remote.Evictions -= b.Remote.Evictions
+			ns.Submit.Enqueued -= b.Submit.Enqueued
+			ns.Submit.Flushes -= b.Submit.Flushes
+			ns.Submit.SizeFlushes -= b.Submit.SizeFlushes
+			ns.Submit.TimeoutFlushes -= b.Submit.TimeoutFlushes
+			ns.Submit.DrainFlushes -= b.Submit.DrainFlushes
+			ns.Submit.Errors -= b.Submit.Errors
+		}
+		out[i] = ns
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClusterCompareQuick runs the distribution A/B on the Quick
+// configuration with two loopback nodes and asserts its qualitative
+// shape: both capacity probes complete, every query is served (zero
+// router failures), traffic reaches both nodes, and the render carries
+// the per-node hit/miss table.
+func TestClusterCompareQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration harness skipped in -short mode")
+	}
+	s, err := NewSuite(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.LoadTest(LoadTestOptions{Cluster: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab := res.ClusterAB
+	if ab == nil {
+		t.Fatal("Cluster option should populate the A/B")
+	}
+	if ab.LocalCap <= 0 || ab.ClusterCap <= 0 {
+		t.Fatalf("capacity probes incomplete: local %.0f, cluster %.0f", ab.LocalCap, ab.ClusterCap)
+	}
+	if ab.QPS <= 0 {
+		t.Errorf("self-calibrated QPS = %v, want positive", ab.QPS)
+	}
+	if ab.Router.Failed != 0 {
+		t.Errorf("router failed %d queries on a healthy loopback cluster", ab.Router.Failed)
+	}
+	if ab.Router.Served == 0 || ab.Router.RemoteHits == 0 {
+		t.Errorf("router counters show no served traffic: %+v", ab.Router)
+	}
+	if len(ab.Status) != 2 {
+		t.Fatalf("status covers %d nodes, want 2", len(ab.Status))
+	}
+	for _, ns := range ab.Status {
+		if !ns.Reachable || !ns.Healthy {
+			t.Errorf("node %s should be healthy and reachable", ns.Node)
+		}
+		if ns.Remote.Hits+ns.Remote.Misses == 0 {
+			t.Errorf("node %s saw no lookups; routing should spread the workload", ns.Node)
+		}
+	}
+	out := ab.Render()
+	for _, want := range []string{"distributed shard routing", "closed-loop capacity", "router (open-loop pass):", "node 0", "node 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

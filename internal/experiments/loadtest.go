@@ -32,6 +32,12 @@ type LoadTestOptions struct {
 	// vs. a pass through the miss-coalescing batch pipeline, both over
 	// the same IVF index at the same offered load.
 	Batch bool
+	// Cluster, when positive, adds the distribution A/B: the workload
+	// replayed against an in-process sharded cache vs. a ring of that
+	// many loopback HTTP shard nodes behind the consistent-hash router
+	// (internal/cluster), with per-node hit/miss and batch-submitter
+	// stats.
+	Cluster int
 	// MaxBatch is the pipeline flush size (0 = batch.DefaultMaxBatch).
 	MaxBatch int
 	// BatchTimeout is the pipeline flush deadline (0 =
@@ -49,7 +55,8 @@ type LoadTestResult struct {
 	Closed      *loadgen.Report
 	Open        *loadgen.Report // nil unless QPS was requested
 	Pressure    shard.PressureReport
-	Batch       *BatchCompare // nil unless Batch was requested
+	Batch       *BatchCompare   // nil unless Batch was requested
+	ClusterAB   *ClusterCompare // nil unless Cluster was requested
 }
 
 // BatchCompare is the miss-path A/B: the same thundering-herd workload
@@ -163,6 +170,12 @@ func (s *Suite) LoadTest(opts LoadTestOptions) (*LoadTestResult, error) {
 		res.Batch, err = s.batchCompare(opts)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: batch comparison: %w", err)
+		}
+	}
+	if opts.Cluster > 0 {
+		res.ClusterAB, err = s.clusterCompare(opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cluster comparison: %w", err)
 		}
 	}
 	return res, nil
@@ -332,6 +345,10 @@ func (r *LoadTestResult) Render() string {
 	if r.Batch != nil {
 		b.WriteString("\n")
 		b.WriteString(r.Batch.Render())
+	}
+	if r.ClusterAB != nil {
+		b.WriteString("\n")
+		b.WriteString(r.ClusterAB.Render())
 	}
 	return b.String()
 }

@@ -57,7 +57,10 @@ func (t *RetrieverTarget) Do(q workload.Query) (bool, error) {
 }
 
 // HTTPTarget drives the retrieval middleware over HTTP, exercising the
-// full deployment path of Fig. 4 (network, JSON codec, handler).
+// full deployment path of Fig. 4 (network, JSON codec, handler). All
+// transport concerns — including draining response bodies on error paths
+// so keep-alive connections are reused rather than churned — live in
+// server.Client.
 type HTTPTarget struct {
 	client *server.Client
 }

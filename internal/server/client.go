@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 )
@@ -14,11 +15,37 @@ type Client struct {
 	http *http.Client
 }
 
+// StatusError is a non-2xx middleware reply. Callers that route around
+// failures (the cluster client) use Code to distinguish input the whole
+// cluster would reject (4xx: not retryable) from a faulty node (5xx:
+// retry the next ring replica).
+type StatusError struct {
+	Code int    // HTTP status code
+	Path string // request path
+	Msg  string // server-reported error message, if any
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("client: %s: %s (status %d)", e.Path, e.Msg, e.Code)
+	}
+	return fmt.Sprintf("client: %s: status %d", e.Path, e.Code)
+}
+
 // NewClient targets a middleware at base (e.g. "http://127.0.0.1:8080").
 func NewClient(base string) *Client {
+	return NewClientWithTimeout(base, 30*time.Second)
+}
+
+// NewClientWithTimeout is NewClient with an explicit HTTP deadline.
+// Health probes and admin snapshots (the cluster router's /healthz and
+// /v1/stats fetches) want to fail fast on a hung node rather than
+// inherit the data path's generous timeout.
+func NewClientWithTimeout(base string, timeout time.Duration) *Client {
 	return &Client{
 		base: base,
-		http: &http.Client{Timeout: 30 * time.Second},
+		http: &http.Client{Timeout: timeout},
 	}
 }
 
@@ -26,6 +53,19 @@ func NewClient(base string) *Client {
 func (c *Client) Retrieve(embedding []float32) (RetrieveResponse, error) {
 	var out RetrieveResponse
 	err := c.post("/v1/retrieve", RetrieveRequest{Embedding: embedding}, &out)
+	return out, err
+}
+
+// RetrieveBatch fetches documents for several embeddings in one call; the
+// results are parallel to embeddings. A failure of any element fails the
+// whole batch.
+func (c *Client) RetrieveBatch(embeddings [][]float32) (BatchRetrieveResponse, error) {
+	var out BatchRetrieveResponse
+	err := c.post("/v1/retrieve/batch", BatchRetrieveRequest{Embeddings: embeddings}, &out)
+	if err == nil && len(out.Results) != len(embeddings) {
+		return out, fmt.Errorf("client: /v1/retrieve/batch: %d results for %d embeddings",
+			len(out.Results), len(embeddings))
+	}
 	return out, err
 }
 
@@ -43,9 +83,9 @@ func (c *Client) Stats() (StatsResponse, error) {
 	if err != nil {
 		return out, fmt.Errorf("client: stats: %w", err)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		return out, fmt.Errorf("client: stats: status %d", resp.StatusCode)
+		return out, &StatusError{Code: resp.StatusCode, Path: "/v1/stats"}
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return out, fmt.Errorf("client: stats decode: %w", err)
@@ -53,15 +93,15 @@ func (c *Client) Stats() (StatsResponse, error) {
 	return out, nil
 }
 
-// Flush clears the cache.
+// Flush clears the cache (and drains/zeroes the server's batch pipeline).
 func (c *Client) Flush() error {
 	resp, err := c.http.Post(c.base+"/v1/flush", "application/json", nil)
 	if err != nil {
 		return fmt.Errorf("client: flush: %w", err)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusNoContent {
-		return fmt.Errorf("client: flush: status %d", resp.StatusCode)
+		return &StatusError{Code: resp.StatusCode, Path: "/v1/flush"}
 	}
 	return nil
 }
@@ -72,7 +112,7 @@ func (c *Client) Healthy() bool {
 	if err != nil {
 		return false
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	return resp.StatusCode == http.StatusOK
 }
 
@@ -85,16 +125,33 @@ func (c *Client) post(path string, in, out interface{}) error {
 	if err != nil {
 		return fmt.Errorf("client: %s: %w", path, err)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
+		se := &StatusError{Code: resp.StatusCode, Path: path}
 		var e errorResponse
-		if decodeErr := json.NewDecoder(resp.Body).Decode(&e); decodeErr == nil && e.Error != "" {
-			return fmt.Errorf("client: %s: %s (status %d)", path, e.Error, resp.StatusCode)
+		if decodeErr := json.NewDecoder(resp.Body).Decode(&e); decodeErr == nil {
+			se.Msg = e.Error
 		}
-		return fmt.Errorf("client: %s: status %d", path, resp.StatusCode)
+		return se
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("client: %s decode: %w", path, err)
 	}
 	return nil
+}
+
+// drainMax bounds how much of an unread body drainClose will consume
+// before giving up on connection reuse; error bodies are tiny, so the
+// limit only guards against a pathological peer.
+const drainMax = 1 << 20
+
+// drainClose reads the remaining response body before closing it. An
+// http.Response body closed with bytes still buffered forces the
+// transport to drop the underlying connection instead of returning it to
+// the keep-alive pool — under the cluster loadtest that turned every
+// error reply (and every JSON decode that stopped at the value, leaving
+// the trailing newline unread) into a fresh TCP connection.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, drainMax))
+	_ = body.Close()
 }

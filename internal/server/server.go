@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"proximity/internal/batch"
@@ -51,6 +52,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/retrieve", s.handleRetrieve)
+	s.mux.HandleFunc("POST /v1/retrieve/batch", s.handleRetrieveBatch)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/flush", s.handleFlush)
@@ -75,6 +77,21 @@ func (s *Server) ListenAndServe(addr string, ready func(boundAddr string)) error
 	return srv.Serve(ln)
 }
 
+// Listen binds addr (use "127.0.0.1:0" for an ephemeral loopback port)
+// and serves in a background goroutine, returning the bound address and a
+// stop function. Stop closes the listener and every active connection
+// immediately — the abrupt-death shape the cluster failure tests need —
+// so a stopped node looks exactly like a crashed one to its clients.
+func (s *Server) Listen(addr string) (bound string, stop func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("server: listen: %w", err)
+	}
+	srv := &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}
+
 // RetrieveRequest asks for the nearest documents to an embedding.
 type RetrieveRequest struct {
 	Embedding []float32 `json:"embedding"`
@@ -93,6 +110,34 @@ type RetrieveResponse struct {
 	CacheMicros float64  `json:"cacheLookupMicros"`
 	DBMillis    float64  `json:"dbServiceMillis"`
 }
+
+// BatchRetrieveRequest asks for the nearest documents to several
+// embeddings in one call — the submission shape the cluster router's
+// per-node batch submitters use to amortize the HTTP round trip across a
+// gathered batch. Elements are served concurrently (so they reach a
+// node-side miss-coalescing pipeline together); results stay parallel to
+// the request, but elements of one batch observe no ordering among
+// themselves.
+type BatchRetrieveRequest struct {
+	Embeddings [][]float32 `json:"embeddings"`
+}
+
+// BatchItem is one element of a batched retrieval.
+type BatchItem struct {
+	Docs []int `json:"docs"`
+	Hit  bool  `json:"hit"`
+}
+
+// BatchRetrieveResponse reports a batched retrieval; Results is parallel
+// to the request's Embeddings.
+type BatchRetrieveResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// MaxBatchElements caps one batched-retrieve request. Elements are
+// served concurrently, so the cap bounds the goroutines (and retrievals)
+// a single caller can demand of a node.
+const MaxBatchElements = 256
 
 // StatsResponse is the /v1/stats payload. The shard fields are present
 // only when the cache is a shard.ShardedCache (or anything else exposing
@@ -155,6 +200,14 @@ type batchStatser interface {
 	Stats() batch.Stats
 }
 
+// statsSnapshotter lets a cache deliver its counters, entry count, and
+// capacity in one call; satisfied by cluster.Client, where the three
+// separate Cache methods would each fan a remote stats fetch out to
+// every node.
+type statsSnapshotter interface {
+	StatsSnapshot() (stats core.Stats, entries, capacity int)
+}
+
 func (s *Server) handleRetrieve(w http.ResponseWriter, r *http.Request) {
 	var req RetrieveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -185,10 +238,81 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.retrieve(w, s.cfg.Embedder.Embed(req.Text))
 }
 
+func (s *Server) handleRetrieveBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRetrieveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.Embeddings) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("at least one embedding is required"))
+		return
+	}
+	// Each element gets a goroutine below, so the batch size bounds the
+	// concurrency one request can demand of the node; reject oversized
+	// batches rather than let an arbitrary caller OOM the server (the
+	// cluster submitter's flushes are far smaller than this cap).
+	if len(req.Embeddings) > MaxBatchElements {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d exceeds the %d-element limit", len(req.Embeddings), MaxBatchElements))
+		return
+	}
+	for i, emb := range req.Embeddings {
+		if len(emb) == 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("embedding %d is empty", i))
+			return
+		}
+	}
+	// Serve the elements concurrently: the batched endpoint exists so a
+	// gathered burst arrives at this node's miss-coalescing pipeline
+	// TOGETHER — a sequential loop would feed the coalescer one query at
+	// a time, each gathering alone and paying the full flush timeout
+	// with zero SearchBatch amortization. Fan-in keeps the wire
+	// contract: results parallel to the request, and the first failure
+	// fails the whole batch (the cluster client's retry unit).
+	resp := BatchRetrieveResponse{Results: make([]BatchItem, len(req.Embeddings))}
+	errs := make([]error, len(req.Embeddings))
+	var wg sync.WaitGroup
+	for i, emb := range req.Embeddings {
+		wg.Add(1)
+		go func(i int, emb vec.Vector) {
+			defer wg.Done()
+			res, err := s.cfg.Retriever.Retrieve(emb)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp.Results[i] = BatchItem{Docs: res.Docs, Hit: res.Hit}
+		}(i, emb)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			httpError(w, retrieveStatus(err), fmt.Errorf("embedding %d: %w", i, err))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// retrieveStatus classifies a Retriever.Retrieve error: only failures the
+// caller provoked with malformed input (a query of the wrong
+// dimensionality) are client errors; everything else — backend search
+// failures, re-rank source errors — is an internal fault. The cluster
+// router depends on this split: 5xx marks a node unhealthy and retries
+// the query on the next ring replica, while 4xx surfaces immediately
+// because every replica would reject the same input.
+func retrieveStatus(err error) int {
+	if errors.Is(err, vec.ErrDimensionMismatch) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
 func (s *Server) retrieve(w http.ResponseWriter, embedding vec.Vector) {
 	res, err := s.cfg.Retriever.Retrieve(embedding)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, retrieveStatus(err), err)
 		return
 	}
 	resp := RetrieveResponse{
@@ -232,14 +356,24 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, StatsResponse{Batch: batchStats})
 		return
 	}
-	st := cache.Stats()
+	// Caches whose counters are expensive to assemble (the cluster
+	// client fans a remote fetch out per node) provide all three
+	// aggregates in one snapshot; plain caches answer the three cheap
+	// calls directly.
+	var st core.Stats
+	var entries, capacity int
+	if snap, ok := cache.(statsSnapshotter); ok {
+		st, entries, capacity = snap.StatsSnapshot()
+	} else {
+		st, entries, capacity = cache.Stats(), cache.Len(), cache.Capacity()
+	}
 	resp := StatsResponse{
 		Batch:     batchStats,
 		Hits:      st.Hits,
 		Misses:    st.Misses,
 		HitRate:   st.HitRate(),
-		Entries:   cache.Len(),
-		Capacity:  cache.Capacity(),
+		Entries:   entries,
+		Capacity:  capacity,
 		Evictions: st.Evictions,
 	}
 	if pr, ok := cache.(pressureReporter); ok {
@@ -262,9 +396,22 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// pipelineResetter is the flush-time reset hook of the miss-coalescing
+// pipeline; satisfied by batch.Pipeline.
+type pipelineResetter interface {
+	Reset()
+}
+
 func (s *Server) handleFlush(w http.ResponseWriter, _ *http.Request) {
 	if cache := s.cfg.Retriever.Cache(); cache != nil {
 		cache.Clear()
+	}
+	// A flush promises a clean slate, and the batch pipeline holds state
+	// the cache Clear does not reach: gathered-but-unflushed waiters and
+	// the /v1/stats batch counters. Drain and zero them too, or
+	// post-flush stats would misreport pre-flush traffic.
+	if rs, ok := s.cfg.Retriever.Searcher().(pipelineResetter); ok {
+		rs.Reset()
 	}
 	w.WriteHeader(http.StatusNoContent)
 }

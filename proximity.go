@@ -77,12 +77,37 @@
 //
 // See examples/batched for the measured comparison and `proximity-bench
 // -experiment loadtest -batch` for the harness.
+//
+// # Distributed shard routing
+//
+// Sharding within one process caps the cache tier at one machine's
+// cores. NewClusterCache routes queries across shard NODES — instances
+// of the HTTP middleware, each owning a slice of the keyspace — by
+// consistent hashing over the same fingerprints the in-process
+// partitioner uses. The client satisfies Cache (and Searcher), so it
+// drops into NewRetriever unchanged; queries bound for the same node
+// coalesce into batched HTTP calls, a failing node is retried on the
+// next ring replica, and when every replica is down the wrapping
+// retriever falls back to its local database:
+//
+//	cc, _ := proximity.NewClusterCache(768, []string{
+//		"http://10.0.0.1:8081", "http://10.0.0.2:8081",
+//	}, proximity.ClusterOptions{})
+//	defer cc.Close()
+//	retriever, _ := proximity.NewRetriever(cc, db, proximity.RetrieverOptions{K: 4})
+//
+// See internal/cluster for the design note, examples/cluster for a
+// complete program (including a node kill absorbed by replica retry),
+// `proximity-server -node` / `-peers` for the deployment shape, and
+// `proximity-bench -experiment loadtest -cluster N` for the loopback
+// A/B against single-process sharding.
 package proximity
 
 import (
 	"io"
 
 	"proximity/internal/batch"
+	"proximity/internal/cluster"
 	"proximity/internal/core"
 	"proximity/internal/embed"
 	"proximity/internal/loadgen"
@@ -178,6 +203,18 @@ type (
 	IVFIndex = vectordb.IVFIndex
 	// IVFConfig parameterizes IVF construction.
 	IVFConfig = vectordb.IVFConfig
+
+	// ClusterCache routes queries across HTTP shard nodes by consistent
+	// hashing (drop-in Cache/Searcher; see internal/cluster).
+	ClusterCache = cluster.Client
+	// ClusterOptions configures a ClusterCache.
+	ClusterOptions = cluster.Options
+	// ClusterRing is the consistent-hash ring over shard nodes.
+	ClusterRing = cluster.Ring
+	// ClusterNodeStatus is one node's slice of a cluster Status snapshot.
+	ClusterNodeStatus = cluster.NodeStatus
+	// ClusterRouterStats are the cluster client's routing counters.
+	ClusterRouterStats = cluster.RouterStats
 )
 
 // Eviction policies.
@@ -285,6 +322,16 @@ func NewShardedLSHCache(dim, shards int, opts LSHOptions) (*ShardedCache, error)
 // queues.
 func NewBatchPipeline(db DB, opts BatchOptions) (*BatchPipeline, error) {
 	return batch.New(db, opts)
+}
+
+// NewClusterCache routes queries across shard nodes — instances of the
+// HTTP middleware at the given base URLs — by consistent hashing over
+// the same routing fingerprints the in-process partitioner uses. The
+// result satisfies Cache and Searcher, so it drops into NewRetriever
+// unchanged; call Close when done to drain the per-node batch
+// submitters.
+func NewClusterCache(dim int, nodes []string, opts ClusterOptions) (*ClusterCache, error) {
+	return cluster.New(dim, nodes, opts)
 }
 
 // NewIVFIndex clusters a vector corpus into an inverted-file index — the
