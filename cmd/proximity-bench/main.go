@@ -5,10 +5,13 @@
 //	proximity-bench [-quick] [-seeds N] [-experiment LIST]
 //	proximity-bench -experiment loadtest [-shards N] [-concurrency K] [-qps Q]
 //	    [-batch] [-batch-size B] [-batch-timeout D] [-cluster N]
+//	proximity-bench -experiment rebalance [-shards N] [-concurrency K]
+//	    [-rebalance-threshold T]
 //
 // where LIST is a comma-separated subset of
 // fig2,fig3,fig6-mmlu,fig6-medrag,fig7,fig8,fig9,fig10,fig11,fig12,opcount,
-// loadtest or "all" (default: every figure; loadtest runs only when named).
+// loadtest,rebalance or "all" (default: every figure; loadtest and
+// rebalance run only when named).
 // Results print to stdout; redirect to a file to keep them. The -quick
 // flag switches to the CI-sized configuration.
 //
@@ -20,6 +23,13 @@
 // With -cluster N it A/B-tests distribution: the in-process sharded
 // cache vs. N loopback HTTP shard nodes behind the consistent-hash
 // router, reporting per-node hit/miss and batch-submitter stats.
+//
+// The rebalance experiment A/B-tests adaptive shard rebalancing: the
+// same Zipf-skewed stream against the same sharded cache starting from
+// an adversarially imbalanced partitioner draw, once static and once
+// with the rebalance controller re-drawing the partitioner mid-traffic,
+// reporting p95/p99, post-skew imbalance, and migration safety (zero
+// failed queries).
 package main
 
 import (
@@ -79,6 +89,7 @@ func run(args []string) error {
 		clusterN     = fs.Int("cluster", 0, "loadtest: add the distributed A/B against this many loopback HTTP shard nodes")
 		batchSize    = fs.Int("batch-size", 0, "loadtest: batch pipeline flush size (0 = default)")
 		batchTimeout = fs.Duration("batch-timeout", 0, "loadtest: batch pipeline flush deadline (0 = default)")
+		rebThresh    = fs.Float64("rebalance-threshold", 0, "rebalance: controller imbalance trigger (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +104,13 @@ func run(args []string) error {
 			Cluster:      *clusterN,
 			MaxBatch:     *batchSize,
 			BatchTimeout: *batchTimeout,
+		})
+	}})
+	available = append(available, figure{"rebalance", func(s *experiments.Suite) (renderer, error) {
+		return s.RebalanceAB(experiments.RebalanceABOptions{
+			Shards:      *shards,
+			Concurrency: *concurrency,
+			Threshold:   *rebThresh,
 		})
 	}})
 	if *list {
@@ -138,8 +156,9 @@ func run(args []string) error {
 }
 
 // selectFigures resolves the -experiment list against the available set.
-// "all" covers every paper figure; loadtest runs only when named, since
-// its runtime depends on the concurrency flags rather than the suite.
+// "all" covers every paper figure; loadtest and rebalance run only when
+// named, since their runtime depends on the concurrency flags rather
+// than the suite.
 func selectFigures(which string, available []figure) ([]figure, error) {
 	if which == "all" {
 		return figures, nil

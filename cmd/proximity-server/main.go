@@ -8,12 +8,25 @@
 //	proximity-server [-addr :8080] [-cache lsh|flat|none] [-tau 5]
 //	                 [-capacity 200] [-bits 8] [-policy lru|fifo]
 //	                 [-topics 20] [-docs-per-topic 20] [-dim 768]
+//	                 [-shards N] [-rebalance-threshold T]
 //	proximity-server -node [-addr :8081] ...
 //	proximity-server -peers http://h1:8081,http://h2:8081 [-replicas 2]
+//	                 [-rebalance-threshold T]
 //
 // Endpoints: POST /v1/query {"text": ...}, POST /v1/retrieve
 // {"embedding": [...]}, POST /v1/retrieve/batch {"embeddings": [[...]]},
-// GET /v1/stats, POST /v1/flush, GET /healthz.
+// GET /v1/stats, POST /v1/flush, POST /v1/rebalance, GET /healthz.
+//
+// # Adaptive rebalancing
+//
+// With -shards N the cache is partitioned across N independently-locked
+// shards, and -rebalance-threshold T (> 1) starts the adaptive
+// controller: when the shard imbalance reported by /v1/stats stays above
+// T for a sustained window, the partitioner is re-drawn and entries
+// migrate shard-by-shard without pausing service. In router mode
+// (-peers), the same flag instead re-weights ring virtual nodes to shift
+// hash arcs off overloaded shard nodes. /v1/rebalance triggers one
+// action manually; the stats payload carries the controller counters.
 //
 // # Cluster deployment
 //
@@ -37,7 +50,9 @@ import (
 	"proximity/internal/cluster"
 	"proximity/internal/core"
 	"proximity/internal/dataset"
+	"proximity/internal/rebalance"
 	"proximity/internal/server"
+	"proximity/internal/shard"
 	"proximity/internal/vec"
 	"proximity/internal/vectordb"
 )
@@ -69,6 +84,9 @@ func run(args []string) error {
 		nodeMode  = fs.Bool("node", false, "run as a cluster shard node (plain middleware; marks the role in logs)")
 		peers     = fs.String("peers", "", "run as a cluster router over this comma-separated shard-node list")
 		replicas  = fs.Int("replicas", cluster.DefaultReplicas, "router: distinct nodes tried per query before local fallback")
+		shards    = fs.Int("shards", 0, "partition the cache across N independently-locked shards (0 = unsharded)")
+		rebThresh = fs.Float64("rebalance-threshold", 0,
+			"adaptive rebalancing: act when imbalance stays above this (> 1; 0 = off; needs -shards or -peers)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,7 +116,19 @@ func run(args []string) error {
 		return err
 	}
 
+	if *rebThresh != 0 && *rebThresh <= 1 {
+		return fmt.Errorf("-rebalance-threshold must exceed 1.0 (perfect balance), got %v", *rebThresh)
+	}
+	// Reject flag combinations that would otherwise be silently ignored.
+	if *shards > 0 && *peers != "" {
+		return fmt.Errorf("-shards applies to the local cache; router mode already shards across the -peers nodes")
+	}
+	if *shards > 0 && *cacheKind == "none" {
+		return fmt.Errorf("-shards needs a cache (-cache none has nothing to partition)")
+	}
+
 	var cache core.Cache
+	var rebalancer server.Rebalancer
 	switch {
 	case *peers != "":
 		// Router mode: the cluster client is the cache; the local
@@ -108,24 +138,64 @@ func run(args []string) error {
 		for i := range bases {
 			bases[i] = strings.TrimSpace(bases[i])
 		}
-		cc, err := cluster.New(*dim, bases, cluster.Options{
+		copts := cluster.Options{
 			Seed:     *seed,
 			Replicas: *replicas,
-		})
+		}
+		if *rebThresh > 0 {
+			copts.Rebalance = &rebalance.Options{Threshold: *rebThresh}
+		}
+		cc, err := cluster.New(*dim, bases, copts)
 		if err != nil {
 			return err
 		}
 		defer cc.Close()
 		cache = cc
+		if ctrl := cc.Controller(); ctrl != nil {
+			rebalancer = ctrl
+		}
 		*cacheKind = fmt.Sprintf("cluster(%d nodes)", len(bases))
 	case *cacheKind == "none":
+		if *rebThresh > 0 {
+			return fmt.Errorf("-rebalance-threshold needs a cache (-cache none has nothing to balance)")
+		}
+	case *cacheKind == "flat" && *shards > 0:
+		var sc *shard.ShardedCache
+		sc, err = shard.NewFlat(*dim, *shards, core.Options{
+			Capacity:  *capacity,
+			Tolerance: float32(*tau),
+			Policy:    policy,
+		}, *seed)
+		cache = sc
+		if err == nil && *rebThresh > 0 {
+			rebalancer, err = startShardController(sc, *rebThresh)
+		}
+	case *cacheKind == "lsh" && *shards > 0:
+		var sc *shard.ShardedCache
+		sc, err = shard.NewLSH(*dim, *shards, core.LSHOptions{
+			Bits:           *bitsL,
+			BucketCapacity: *bucket,
+			Tolerance:      float32(*tau),
+			Policy:         policy,
+			Seed:           *seed,
+		})
+		cache = sc
+		if err == nil && *rebThresh > 0 {
+			rebalancer, err = startShardController(sc, *rebThresh)
+		}
 	case *cacheKind == "flat":
+		if *rebThresh > 0 {
+			return fmt.Errorf("-rebalance-threshold needs -shards (an unsharded cache has nothing to rebalance)")
+		}
 		cache, err = core.NewFlat(*dim, core.Options{
 			Capacity:  *capacity,
 			Tolerance: float32(*tau),
 			Policy:    policy,
 		})
 	case *cacheKind == "lsh":
+		if *rebThresh > 0 {
+			return fmt.Errorf("-rebalance-threshold needs -shards (an unsharded cache has nothing to rebalance)")
+		}
 		cache, err = core.NewLSH(*dim, core.LSHOptions{
 			Bits:           *bitsL,
 			BucketCapacity: *bucket,
@@ -149,9 +219,10 @@ func run(args []string) error {
 		return err
 	}
 	srv, err := server.New(server.Config{
-		Retriever: retr,
-		Embedder:  bench.Embedder(),
-		Docs:      corpusDocs{bench},
+		Retriever:  retr,
+		Embedder:   bench.Embedder(),
+		Docs:       corpusDocs{bench},
+		Rebalancer: rebalancer,
 	})
 	if err != nil {
 		return err
@@ -164,9 +235,33 @@ func run(args []string) error {
 		role = "cluster router"
 	}
 	return srv.ListenAndServe(*addr, func(bound string) {
-		log.Printf("proximity %s serving %d passages on %s (cache=%s τ=%v)",
-			role, db.Len(), bound, *cacheKind, *tau)
+		extra := ""
+		if *shards > 0 {
+			extra = fmt.Sprintf(" shards=%d", *shards)
+		}
+		if rebalancer != nil {
+			extra += fmt.Sprintf(" rebalance>%.2f", *rebThresh)
+		}
+		log.Printf("proximity %s serving %d passages on %s (cache=%s τ=%v%s)",
+			role, db.Len(), bound, *cacheKind, *tau, extra)
 	})
+}
+
+// startShardController wires and starts the adaptive re-draw loop over
+// an in-process sharded cache.
+func startShardController(sc *shard.ShardedCache, threshold float64) (*rebalance.Controller, error) {
+	target, err := rebalance.NewShardTarget(sc, rebalance.ShardTargetOptions{})
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := rebalance.New(target, target, rebalance.Options{Threshold: threshold})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctrl.Start(); err != nil {
+		return nil, err
+	}
+	return ctrl, nil
 }
 
 // corpusDocs adapts the benchmark corpus to the server's Documents

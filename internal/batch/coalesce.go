@@ -4,6 +4,7 @@ import (
 	"errors"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"proximity/internal/vec"
 )
@@ -54,13 +55,32 @@ type flight struct {
 // of its results. Sequential duplicates are NOT deduplicated — that is
 // the cache's job; the coalescer only collapses races between concurrent
 // misses. Safe for concurrent use.
+// flightKey identifies one joinable flight. The generation changes on
+// every SetKey, so flights filed under a retired key function are never
+// joined by requests hashed with the new one — numeric key equality
+// across two different draws carries no similarity guarantee at all.
+type flightKey struct {
+	gen uint32
+	key uint32
+	k   int
+}
+
+// keyState pairs the key function with its generation in one value, so
+// a reader can never observe a new function with an old generation (or
+// vice versa) — either tear would reopen the cross-draw join window.
+type keyState struct {
+	fn  KeyFunc
+	gen uint32
+}
+
 type Coalescer struct {
 	inner  Searcher
-	key    KeyFunc
-	verify bool // require embedding equality, not just key equality
+	key    atomic.Pointer[keyState] // swapped whole by SetKey; read lock-free
+	genCtr atomic.Uint32            // mints a unique generation per SetKey
+	verify bool                     // require embedding equality, not just key equality
 
 	mu       sync.Mutex
-	inflight map[uint64]*flight
+	inflight map[flightKey]*flight
 	stats    CoalesceStats
 }
 
@@ -88,17 +108,19 @@ func newCoalescer(inner Searcher, key KeyFunc, verify bool) (*Coalescer, error) 
 	if key == nil {
 		return nil, errors.New("batch: coalescer requires a key function")
 	}
-	return &Coalescer{
+	c := &Coalescer{
 		inner:    inner,
-		key:      key,
 		verify:   verify,
-		inflight: make(map[uint64]*flight),
-	}, nil
+		inflight: make(map[flightKey]*flight),
+	}
+	c.key.Store(&keyState{fn: key})
+	return c, nil
 }
 
 // Search performs (or joins) the deduplicated search for q.
 func (c *Coalescer) Search(q vec.Vector, k int) ([]vec.Scored, error) {
-	key := uint64(c.key(q))<<32 | uint64(uint32(k))
+	ks := c.key.Load()
+	key := flightKey{gen: ks.gen, key: ks.fn(q), k: k}
 
 	c.mu.Lock()
 	if f, ok := c.inflight[key]; ok {
@@ -141,6 +163,21 @@ func (c *Coalescer) Search(q vec.Vector, k int) ([]vec.Scored, error) {
 	out := make([]vec.Scored, len(f.res))
 	copy(out, f.res)
 	return out, nil
+}
+
+// SetKey atomically replaces the fingerprint function. Flights already
+// in progress complete under the (function, generation) pair they were
+// filed under; requests hashed by the new function carry a fresh
+// generation, so they can never join a retired draw's flight even when
+// the numeric keys coincide — cross-draw key equality carries no
+// similarity guarantee. The one cost is a missed coalescing opportunity
+// for requests straddling the swap. Used to keep CoalesceLSH duplicate
+// detection in step with a re-drawn shard partitioner.
+func (c *Coalescer) SetKey(key KeyFunc) {
+	if key == nil {
+		return
+	}
+	c.key.Store(&keyState{fn: key, gen: c.genCtr.Add(1)})
 }
 
 // Stats returns a snapshot of the cumulative counters.

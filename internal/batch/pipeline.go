@@ -169,6 +169,7 @@ func New(db vectordb.DB, opts Options) (*Pipeline, error) {
 		if err != nil {
 			return nil, err
 		}
+		p.opts.SignatureBits = bits // resolved width, for Reseed
 		key = hasher.Hash
 	case CoalesceOff:
 		return p, nil
@@ -232,6 +233,26 @@ func (p *Pipeline) Reset() {
 	if p.co != nil {
 		p.co.ResetStats()
 	}
+}
+
+// Reseed re-draws the CoalesceLSH duplicate-detection hyperplanes from
+// seed. When a re-drawn shard partitioner changes which queries share a
+// signature, a pipeline coalescing by the old draw would dedup a
+// different notion of "near-identical" than the cache routes by; the
+// rebalance actuator calls this (via its OnReseed hook) so both draws
+// stay in step. Under CoalesceExact and CoalesceOff it is a no-op —
+// byte fingerprints are content hashes, seed-independent — as is queue
+// routing, which also keys on the content fingerprint.
+func (p *Pipeline) Reseed(seed uint64) error {
+	if p.opts.Coalesce != CoalesceLSH || p.co == nil {
+		return nil
+	}
+	hasher, err := lsh.NewHasher(p.db.Dim(), p.opts.SignatureBits, seed)
+	if err != nil {
+		return err
+	}
+	p.co.SetKey(hasher.Hash)
+	return nil
 }
 
 // Dim implements vectordb.DB.

@@ -10,6 +10,7 @@ import (
 	"proximity/internal/batch"
 	"proximity/internal/core"
 	"proximity/internal/lsh"
+	"proximity/internal/rebalance"
 	"proximity/internal/server"
 	"proximity/internal/shard"
 	"proximity/internal/vec"
@@ -63,6 +64,16 @@ type Options struct {
 	// Clock supplies the submitter flush timers. Defaults to
 	// batch.SystemClock.
 	Clock batch.Clock
+	// Rebalance, when non-nil, starts an adaptive ring re-weighting
+	// controller over this client: per-node lookup imbalance beyond the
+	// policy's threshold (sustained for its window) shifts hash arcs
+	// off overloaded nodes by re-weighting virtual-node counts (see
+	// Balancer). The controller lives and dies with the Client; reach
+	// it via Controller for stats or manual triggers.
+	Rebalance *rebalance.Options
+	// BalancerGain is the adaptive controller's correction exponent
+	// (0 = DefaultGain; ignored without Rebalance).
+	BalancerGain float64
 }
 
 func (o *Options) fillDefaults() {
@@ -93,6 +104,8 @@ type RouterStats struct {
 	// RemoteHits counts served queries the owning node answered from
 	// its cache.
 	RemoteHits int64
+	// Rebalances counts ring re-weightings applied via Rebalance.
+	Rebalances int64
 }
 
 // NodeStatus is one node's slice of a Status snapshot.
@@ -129,10 +142,13 @@ type Client struct {
 	nodes  map[string]*node
 	closed bool
 
+	ctrl *rebalance.Controller // nil unless Options.Rebalance was set
+
 	served     atomic.Int64
 	retried    atomic.Int64
 	failed     atomic.Int64
 	remoteHits atomic.Int64
+	rebalances atomic.Int64
 }
 
 var (
@@ -172,15 +188,46 @@ func New(dim int, nodes []string, opts Options) (*Client, error) {
 		return nil, err
 	}
 	c.ring = ring
+	// Submitters own flush timers and keep-alive connections from the
+	// moment they are built; every later constructor failure must close
+	// what already started or an embedding process leaks one goroutine
+	// per node per failed New.
+	closeNodes := func() {
+		for _, n := range c.nodes {
+			_ = n.sub.Close()
+		}
+	}
 	for _, base := range ring.Nodes() {
 		n, err := newNode(base, opts)
 		if err != nil {
+			closeNodes()
 			return nil, err
 		}
 		c.nodes[base] = n
 	}
+	if opts.Rebalance != nil {
+		bal, err := NewBalancer(c, BalancerOptions{Gain: opts.BalancerGain})
+		if err != nil {
+			closeNodes()
+			return nil, err
+		}
+		ctrl, err := rebalance.New(bal, bal, *opts.Rebalance)
+		if err != nil {
+			closeNodes()
+			return nil, err
+		}
+		if err := ctrl.Start(); err != nil {
+			closeNodes()
+			return nil, err
+		}
+		c.ctrl = ctrl
+	}
 	return c, nil
 }
+
+// Controller returns the adaptive rebalance controller, or nil when
+// Options.Rebalance was not set.
+func (c *Client) Controller() *rebalance.Controller { return c.ctrl }
 
 // KeyOf returns the routing fingerprint of a query — the same key the
 // in-process partitioner would use. Exported for diagnostics and tests.
@@ -369,6 +416,44 @@ func (c *Client) RemoveNode(base string) error {
 	return n.sub.Close()
 }
 
+// Rebalance swaps the ring for a re-weighted one over the same
+// membership: a node's virtual-node count scales with its weight, so
+// lowering an overloaded node's weight moves arcs — and the keys on
+// them — to its neighbors without any node joining or leaving. Keys
+// whose owner changes are served by a cold replica until its cache
+// warms: a transient hit-rate dip, never an outage, exactly like a
+// membership change. Weights merge over the current ones (see
+// Ring.WithWeights); validation errors leave routing untouched.
+func (c *Client) Rebalance(weights map[string]float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	ring, err := c.ring.WithWeights(weights)
+	if err != nil {
+		return err
+	}
+	c.ring = ring
+	c.rebalances.Add(1)
+	return nil
+}
+
+// Weights returns the current per-node ring weights.
+func (c *Client) Weights() map[string]float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.Weights()
+}
+
+// Ring returns the current ring (immutable; a Rebalance or membership
+// change installs a new one).
+func (c *Client) Ring() *Ring {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring
+}
+
 // Nodes returns the current ring membership, sorted.
 func (c *Client) Nodes() []string {
 	c.mu.RLock()
@@ -383,6 +468,7 @@ func (c *Client) RouterStats() RouterStats {
 		Retried:    c.retried.Load(),
 		Failed:     c.failed.Load(),
 		RemoteHits: c.remoteHits.Load(),
+		Rebalances: c.rebalances.Load(),
 	}
 }
 
@@ -475,6 +561,20 @@ func (c *Client) Clear() {
 // Close drains every node submitter and fails subsequent operations with
 // ErrClosed.
 func (c *Client) Close() error {
+	// Stop the adaptive loop FIRST, while the client is still open: an
+	// in-flight tick completes against a working client (no spurious
+	// controller failure recorded), and by the time the submitters
+	// drain below no rebalance can race the shutdown.
+	c.mu.RLock()
+	ctrl, closed := c.ctrl, c.closed
+	c.mu.RUnlock()
+	if closed {
+		return nil
+	}
+	if ctrl != nil {
+		_ = ctrl.Close()
+	}
+
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()

@@ -1,27 +1,51 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sort"
 )
 
-// DefaultVNodes is the virtual-node count per real node when
-// Options.VNodes is zero. Each node owns VNodes arcs of the hash circle,
-// smoothing the load split: with ~100 vnodes the expected per-node share
-// deviates from 1/N by only a few percent, and a leaving node's arcs
-// scatter across all survivors instead of dumping onto one successor.
+// DefaultVNodes is the virtual-node count per unit of weight when
+// Options.VNodes is zero. Each node owns Weight·VNodes arcs of the hash
+// circle, smoothing the load split: with ~100 vnodes the expected
+// per-node share deviates from its weight share by only a few percent,
+// and a leaving node's arcs scatter across all survivors instead of
+// dumping onto one successor.
 const DefaultVNodes = 100
 
-// Ring is an immutable consistent-hash ring over named nodes. Keys are
-// the 32-bit routing fingerprints the in-process partitioner already uses
-// (shard.FingerprintOf or an LSH signature); each key owns the arc ending
-// at the next virtual-node point clockwise. Membership changes build a
-// new Ring (see WithNode/WithoutNode), so lookups never lock.
+// Weight bounds. Weights outside this range stop approximating "share of
+// the keyspace" — a node at 1/16th weight holds so few arcs that its
+// share is mostly variance — so the ring rejects them rather than let a
+// runaway controller starve or flood a node.
+const (
+	MinWeight = 1.0 / 16
+	MaxWeight = 16.0
+)
+
+// Typed membership errors. WithoutNode returns ErrLastNode (never an
+// empty ring, whose Primary/Lookup would panic); constructors return
+// ErrEmptyRing for an empty node list.
+var (
+	ErrEmptyRing = errors.New("cluster: ring requires at least one node")
+	ErrLastNode  = errors.New("cluster: cannot remove the last node from the ring")
+)
+
+// Ring is an immutable consistent-hash ring over named, weighted nodes.
+// Keys are the 32-bit routing fingerprints the in-process partitioner
+// already uses (shard.FingerprintOf or an LSH signature); each key owns
+// the arc ending at the next virtual-node point clockwise. A node's
+// virtual-node count scales with its weight, so re-weighting shifts arcs
+// between nodes without changing membership — the network-tier
+// rebalancing lever. Membership and weight changes build a new Ring
+// (WithNode/WithoutNode/WithWeights), so lookups never lock.
 type Ring struct {
-	vnodes int
-	nodes  []string // sorted distinct node IDs
-	points []ringPoint
+	vnodes  int
+	nodes   []string  // sorted distinct node IDs
+	weights []float64 // parallel to nodes
+	points  []ringPoint
 }
 
 // ringPoint is one virtual node: a position on the circle owned by a real
@@ -31,13 +55,22 @@ type ringPoint struct {
 	node int // index into nodes
 }
 
-// NewRing builds a ring over the given node IDs with vnodes virtual
-// nodes each (0 = DefaultVNodes). Node IDs must be non-empty and
+// NewRing builds a unit-weight ring over the given node IDs with vnodes
+// virtual nodes each (0 = DefaultVNodes). Node IDs must be non-empty and
 // distinct; order does not matter — the same membership always builds
 // the same ring.
 func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	return NewWeightedRing(nodes, nil, vnodes)
+}
+
+// NewWeightedRing is NewRing with per-node weights: a node's virtual-node
+// count is round(weight · vnodes), at least 1, so a weight-2 node owns
+// roughly twice the keyspace of a weight-1 node. Nodes absent from the
+// weights map get weight 1; weights must lie in [MinWeight, MaxWeight]
+// and name known nodes. A nil map is the unit-weight ring.
+func NewWeightedRing(nodes []string, weights map[string]float64, vnodes int) (*Ring, error) {
 	if len(nodes) == 0 {
-		return nil, fmt.Errorf("cluster: ring requires at least one node")
+		return nil, ErrEmptyRing
 	}
 	if vnodes < 0 {
 		return nil, fmt.Errorf("cluster: vnode count must be non-negative, got %d", vnodes)
@@ -56,12 +89,26 @@ func NewRing(nodes []string, vnodes int) (*Ring, error) {
 		}
 	}
 	r := &Ring{
-		vnodes: vnodes,
-		nodes:  sorted,
-		points: make([]ringPoint, 0, len(sorted)*vnodes),
+		vnodes:  vnodes,
+		nodes:   sorted,
+		weights: make([]float64, len(sorted)),
+	}
+	for i := range r.weights {
+		r.weights[i] = 1
+	}
+	for node, w := range weights {
+		i := sort.SearchStrings(r.nodes, node)
+		if i >= len(r.nodes) || r.nodes[i] != node {
+			return nil, fmt.Errorf("cluster: weight for unknown node %q", node)
+		}
+		if math.IsNaN(w) || w < MinWeight || w > MaxWeight {
+			return nil, fmt.Errorf("cluster: weight %v for node %q outside [%v, %v]",
+				w, node, MinWeight, MaxWeight)
+		}
+		r.weights[i] = w
 	}
 	for ni, n := range r.nodes {
-		for v := 0; v < vnodes; v++ {
+		for v := 0; v < vnodeCount(r.weights[ni], vnodes); v++ {
 			r.points = append(r.points, ringPoint{pos: vnodePos(n, v), node: ni})
 		}
 	}
@@ -77,14 +124,40 @@ func NewRing(nodes []string, vnodes int) (*Ring, error) {
 	return r, nil
 }
 
-// WithNode returns a new ring with the node added.
-func (r *Ring) WithNode(node string) (*Ring, error) {
-	return NewRing(append(append([]string(nil), r.nodes...), node), r.vnodes)
+// vnodeCount converts a weight into a virtual-node count: proportional,
+// rounded, never zero (every member must own at least one arc or Lookup
+// could not reach it).
+func vnodeCount(weight float64, vnodes int) int {
+	n := int(weight*float64(vnodes) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
-// WithoutNode returns a new ring with the node removed.
+// weightMap snapshots the ring's weights as the map form the With*
+// builders consume.
+func (r *Ring) weightMap() map[string]float64 {
+	m := make(map[string]float64, len(r.nodes))
+	for i, n := range r.nodes {
+		m[n] = r.weights[i]
+	}
+	return m
+}
+
+// WithNode returns a new ring with the node added at weight 1; existing
+// weights are preserved.
+func (r *Ring) WithNode(node string) (*Ring, error) {
+	return NewWeightedRing(append(append([]string(nil), r.nodes...), node), r.weightMap(), r.vnodes)
+}
+
+// WithoutNode returns a new ring with the node removed, preserving the
+// survivors' weights. Removing the last node returns ErrLastNode — never
+// an empty ring.
 func (r *Ring) WithoutNode(node string) (*Ring, error) {
 	rest := make([]string, 0, len(r.nodes))
+	weights := r.weightMap()
+	delete(weights, node)
 	for _, n := range r.nodes {
 		if n != node {
 			rest = append(rest, n)
@@ -93,7 +166,21 @@ func (r *Ring) WithoutNode(node string) (*Ring, error) {
 	if len(rest) == len(r.nodes) {
 		return nil, fmt.Errorf("cluster: node %q not in ring", node)
 	}
-	return NewRing(rest, r.vnodes)
+	if len(rest) == 0 {
+		return nil, fmt.Errorf("cluster: removing %q: %w", node, ErrLastNode)
+	}
+	return NewWeightedRing(rest, weights, r.vnodes)
+}
+
+// WithWeights returns a re-weighted ring over the same membership. Nodes
+// absent from the map keep their current weight; see NewWeightedRing for
+// validation.
+func (r *Ring) WithWeights(weights map[string]float64) (*Ring, error) {
+	merged := r.weightMap()
+	for n, w := range weights {
+		merged[n] = w
+	}
+	return NewWeightedRing(r.nodes, merged, r.vnodes)
 }
 
 // Nodes returns the ring membership, sorted.
@@ -101,10 +188,33 @@ func (r *Ring) Nodes() []string {
 	return append([]string(nil), r.nodes...)
 }
 
+// Weights returns the per-node weights.
+func (r *Ring) Weights() map[string]float64 { return r.weightMap() }
+
+// Weight returns one node's weight (ok=false for a non-member).
+func (r *Ring) Weight(node string) (float64, bool) {
+	i := sort.SearchStrings(r.nodes, node)
+	if i >= len(r.nodes) || r.nodes[i] != node {
+		return 0, false
+	}
+	return r.weights[i], true
+}
+
+// VNodesFor returns the virtual-node count a node owns (0 for a
+// non-member) — weight made concrete, for diagnostics and the
+// balancer's moved-arc accounting.
+func (r *Ring) VNodesFor(node string) int {
+	w, ok := r.Weight(node)
+	if !ok {
+		return 0
+	}
+	return vnodeCount(w, r.vnodes)
+}
+
 // Len returns the number of real nodes.
 func (r *Ring) Len() int { return len(r.nodes) }
 
-// VNodes returns the virtual-node count per real node.
+// VNodes returns the virtual-node count per unit of weight.
 func (r *Ring) VNodes() int { return r.vnodes }
 
 // Primary returns the node that owns the key: the owner of the first

@@ -148,5 +148,24 @@ type Cache interface {
 	Clear()
 }
 
+// Entry is one cached line as seen through EntrySource: the key
+// embedding, its documents, and its per-line match tolerance. All fields
+// are copies — holding an Entry never aliases live cache state.
+type Entry struct {
+	Key  vec.Vector
+	Docs []int
+	Tol  float32
+}
+
+// EntrySource is implemented by caches that can enumerate their contents
+// (FlatCache and LSHCache both qualify). The shard migrator depends on
+// it: re-drawing the partitioner moves entries between shards, which
+// requires reading them out of the sub-caches first. Enumeration order is
+// eviction order where the cache defines one, so re-inserting entries in
+// the returned order reproduces the same eviction sequence.
+type EntrySource interface {
+	Entries() []Entry
+}
+
 // errNilQuery guards the public entry points.
 var errNilQuery = errors.New("core: nil query embedding")

@@ -218,6 +218,27 @@ func (c *FlatCache) Clear() {
 	c.order.Init()
 }
 
+// Entries returns copies of the cached lines in eviction order (front,
+// i.e. next to evict, first), so re-inserting them in order reproduces
+// the same eviction sequence. Implements EntrySource; O(c·d).
+func (c *FlatCache) Entries() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, len(c.entries))
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e, ok := el.Value.(*flatEntry)
+		if !ok {
+			panic(fmt.Sprintf("core: unexpected eviction list element %T", el.Value))
+		}
+		out = append(out, Entry{
+			Key:  vec.Clone(e.key),
+			Docs: append([]int(nil), e.docs...),
+			Tol:  e.tol,
+		})
+	}
+	return out
+}
+
 // Keys returns copies of the cached key embeddings in eviction order
 // (front first). Diagnostic; O(c·d).
 func (c *FlatCache) Keys() []vec.Vector {

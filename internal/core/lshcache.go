@@ -256,6 +256,40 @@ func (c *LSHCache) Stats() Stats {
 	return agg
 }
 
+// Entries returns copies of the cached lines: within each bucket in
+// eviction order, with bucket order immaterial (signatures re-derive from
+// the keys). Implements EntrySource.
+func (c *LSHCache) Entries() []Entry {
+	c.mu.RLock()
+	buckets := make([]*FlatCache, 0, len(c.buckets))
+	for _, b := range c.buckets {
+		buckets = append(buckets, b)
+	}
+	c.mu.RUnlock()
+	var out []Entry
+	for _, b := range buckets {
+		out = append(out, b.Entries()...)
+	}
+	return out
+}
+
+// Keys returns copies of the cached key embeddings (bucket order
+// immaterial). Cheaper than Entries when only the keys matter, e.g. the
+// shard migrator's seed previews.
+func (c *LSHCache) Keys() []vec.Vector {
+	c.mu.RLock()
+	buckets := make([]*FlatCache, 0, len(c.buckets))
+	for _, b := range c.buckets {
+		buckets = append(buckets, b)
+	}
+	c.mu.RUnlock()
+	var out []vec.Vector
+	for _, b := range buckets {
+		out = append(out, b.Keys()...)
+	}
+	return out
+}
+
 // Clear drops all buckets (counters for per-bucket stats are dropped with
 // them; the empty-bucket miss counter is preserved).
 func (c *LSHCache) Clear() {

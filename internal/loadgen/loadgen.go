@@ -203,7 +203,8 @@ func Run(target Target, w workload.Workload, opts Options) (*Report, error) {
 	assign := Assignment(n, workers)
 
 	type workerResult struct {
-		latencies []time.Duration
+		latencies []time.Duration // from the intended issue time
+		services  []time.Duration // from the actual issue time
 		hits      int
 		errs      int
 		firstErr  error
@@ -220,12 +221,23 @@ func Run(target Target, w workload.Workload, opts Options) (*Report, error) {
 				if assign[i] != g {
 					continue
 				}
+				// issueAt is the INTENDED issue time: the scheduled
+				// Poisson arrival in open loop, the actual issue in
+				// closed loop (a closed loop has no schedule to fall
+				// behind). A worker running late must NOT re-stamp it —
+				// measuring a backlogged query from when the worker got
+				// around to it would hide exactly the queueing delay an
+				// offered-load probe exists to expose (coordinated
+				// omission). Both views are recorded: response time from
+				// issueAt, service time from the actual issue.
 				issueAt := start
+				var actual time.Time // open loop only: the post-sleep issue instant
 				if offsets != nil {
 					issueAt = start.Add(offsets[i])
 					if d := time.Until(issueAt); d > 0 {
 						time.Sleep(d)
 					}
+					actual = time.Now()
 				} else {
 					issueAt = time.Now()
 				}
@@ -237,9 +249,14 @@ func Run(target Target, w workload.Workload, opts Options) (*Report, error) {
 					}
 					continue
 				}
-				// Open loop measures from the scheduled arrival
-				// (queueing included); closed loop from the issue.
-				res.latencies = append(res.latencies, time.Since(issueAt))
+				end := time.Now()
+				res.latencies = append(res.latencies, end.Sub(issueAt))
+				if offsets != nil {
+					// Closed loop has no schedule to fall behind, so
+					// the service view would duplicate the response
+					// samples; summarize aliases them instead.
+					res.services = append(res.services, end.Sub(actual))
+				}
 				if hit {
 					res.hits++
 				}
@@ -257,10 +274,11 @@ func Run(target Target, w workload.Workload, opts Options) (*Report, error) {
 		Elapsed:   elapsed,
 		TargetQPS: opts.QPS,
 	}
-	var all []time.Duration
+	var all, svc []time.Duration
 	var firstErr error
 	for _, res := range results {
 		all = append(all, res.latencies...)
+		svc = append(svc, res.services...)
 		rep.Hits += res.hits
 		rep.Errors += res.errs
 		if firstErr == nil {
@@ -268,6 +286,6 @@ func Run(target Target, w workload.Workload, opts Options) (*Report, error) {
 		}
 	}
 	rep.FirstError = firstErr
-	rep.summarize(all, opts.HistogramBuckets)
+	rep.summarize(all, svc, opts.HistogramBuckets)
 	return rep, nil
 }

@@ -1,0 +1,83 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"proximity/internal/workload"
+)
+
+// slowTarget serves each query after a fixed service time.
+type slowTarget struct{ d time.Duration }
+
+func (t slowTarget) Do(workload.Query) (bool, error) {
+	time.Sleep(t.d)
+	return false, nil
+}
+
+func slowWorkload(n int) workload.Workload {
+	w := workload.Workload{Name: "slow"}
+	for i := 0; i < n; i++ {
+		w.Queries = append(w.Queries, workload.Query{Embedding: []float32{float32(i)}})
+	}
+	return w
+}
+
+// TestOpenLoopReportsQueueingDelay is the coordinated-omission
+// regression test: offer load well beyond the target's capacity and the
+// RESPONSE percentiles (measured from each query's intended Poisson
+// arrival) must show the growing backlog, while the SERVICE percentiles
+// (measured from the actual issue) stay near the per-query service time.
+// A driver that re-stamped the issue time per query would report the
+// service view as the response view and hide the overload entirely.
+func TestOpenLoopReportsQueueingDelay(t *testing.T) {
+	const service = 2 * time.Millisecond
+	// 2 workers at ~500/s capacity vs 4000 qps offered: the backlog
+	// grows by design.
+	rep, err := Run(slowTarget{service}, slowWorkload(60), Options{
+		Mode:    OpenLoop,
+		Workers: 2,
+		QPS:     4000,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+	if rep.SvcP50 < service || rep.SvcP50 > 20*service {
+		t.Errorf("service p50 = %v, want near the %v service time", rep.SvcP50, service)
+	}
+	if rep.P95 < 2*rep.SvcP95 {
+		t.Errorf("response p95 %v does not dominate service p95 %v under a growing backlog",
+			rep.P95, rep.SvcP95)
+	}
+	if rep.Max < rep.SvcMax {
+		t.Errorf("response max %v below service max %v", rep.Max, rep.SvcMax)
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "service ") {
+		t.Errorf("open-loop render missing the service line:\n%s", out)
+	}
+}
+
+// TestClosedLoopViewsCoincide: with no arrival schedule there is nothing
+// to fall behind, so the two views measure the same interval.
+func TestClosedLoopViewsCoincide(t *testing.T) {
+	const service = time.Millisecond
+	rep, err := Run(slowTarget{service}, slowWorkload(20), Options{
+		Mode:    ClosedLoop,
+		Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := (rep.P50 - rep.SvcP50).Abs(); diff > service/2 {
+		t.Errorf("closed-loop p50 views diverge: response %v vs service %v", rep.P50, rep.SvcP50)
+	}
+	if strings.Contains(rep.Render(), "service ") {
+		t.Error("closed-loop render should not print a separate service line")
+	}
+}

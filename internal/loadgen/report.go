@@ -25,13 +25,26 @@ type Report struct {
 	TargetQPS   float64
 	AchievedQPS float64
 
-	// Latency summary over successful queries. Open-loop latencies are
-	// measured from the scheduled arrival, so queueing delay counts.
+	// Response-time summary over successful queries, measured from each
+	// query's INTENDED issue time (the scheduled Poisson arrival in
+	// open loop), so backlog queueing delay counts — the coordinated-
+	// omission-free view an offered-load probe must report.
 	Mean time.Duration
 	P50  time.Duration
 	P95  time.Duration
 	P99  time.Duration
 	Max  time.Duration
+
+	// Service-time summary over the same queries, measured from the
+	// instant the worker actually issued each request. Under backlog
+	// the response percentiles above grow while these stay flat; the
+	// gap IS the queueing a service-only view hides. In closed loop the
+	// two views coincide (no schedule to fall behind).
+	SvcMean time.Duration
+	SvcP50  time.Duration
+	SvcP95  time.Duration
+	SvcP99  time.Duration
+	SvcMax  time.Duration
 
 	// Histogram of latencies over [HistLo, HistHi), linear buckets.
 	HistLo     time.Duration
@@ -50,8 +63,8 @@ func (r *Report) HitRate() float64 {
 	return 0
 }
 
-// summarize fills the latency summary and histogram from raw samples.
-func (r *Report) summarize(samples []time.Duration, buckets int) {
+// summarize fills the latency summaries and histogram from raw samples.
+func (r *Report) summarize(samples, services []time.Duration, buckets int) {
 	if r.Elapsed > 0 {
 		r.AchievedQPS = float64(len(samples)) / r.Elapsed.Seconds()
 	}
@@ -67,6 +80,22 @@ func (r *Report) summarize(samples []time.Duration, buckets int) {
 	r.P95 = rec.Percentile(95)
 	r.P99 = rec.Percentile(99)
 	r.Max = rec.Max()
+
+	if len(services) == 0 {
+		// Closed loop records no separate service samples: with no
+		// schedule to fall behind, the views coincide by definition.
+		r.SvcMean, r.SvcP50, r.SvcP95, r.SvcP99, r.SvcMax = r.Mean, r.P50, r.P95, r.P99, r.Max
+	} else {
+		var svc stats.LatencyRecorder
+		for _, s := range services {
+			svc.Record(s)
+		}
+		r.SvcMean = svc.Mean()
+		r.SvcP50 = svc.Percentile(50)
+		r.SvcP95 = svc.Percentile(95)
+		r.SvcP99 = svc.Percentile(99)
+		r.SvcMax = svc.Max()
+	}
 
 	r.HistLo, r.HistHi = 0, r.Max+1
 	h, err := stats.NewHistogram(float64(r.HistLo), float64(r.HistHi), buckets)
@@ -105,6 +134,15 @@ func (r *Report) Render() string {
 		r.Mean.Round(time.Microsecond), r.P50.Round(time.Microsecond),
 		r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond),
 		r.Max.Round(time.Microsecond))
+	if r.Mode == OpenLoop {
+		// The response/service gap is the backlog queueing delay; a
+		// service line close to the response line means the target kept
+		// up with the offered load.
+		fmt.Fprintf(&b, "service mean=%v p50=%v p95=%v p99=%v max=%v\n",
+			r.SvcMean.Round(time.Microsecond), r.SvcP50.Round(time.Microsecond),
+			r.SvcP95.Round(time.Microsecond), r.SvcP99.Round(time.Microsecond),
+			r.SvcMax.Round(time.Microsecond))
+	}
 	b.WriteString(r.renderHistogram())
 	if r.FirstError != nil {
 		fmt.Fprintf(&b, "first error: %v\n", r.FirstError)

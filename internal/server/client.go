@@ -106,6 +106,14 @@ func (c *Client) Flush() error {
 	return nil
 }
 
+// RebalanceNow triggers one manual rebalance action on the middleware
+// (501 StatusError when the server has no controller configured).
+func (c *Client) RebalanceNow() (RebalanceResponse, error) {
+	var out RebalanceResponse
+	err := c.post("/v1/rebalance", struct{}{}, &out)
+	return out, err
+}
+
 // Healthy reports whether the middleware answers its health check.
 func (c *Client) Healthy() bool {
 	resp, err := c.http.Get(c.base + "/healthz")

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"proximity/internal/core"
+	"proximity/internal/rebalance"
+	"proximity/internal/vec"
+	"proximity/internal/vectordb"
+)
+
+// fakeRebalancer scripts the admin surface.
+type fakeRebalancer struct {
+	stats    rebalance.Stats
+	out      rebalance.Outcome
+	err      error
+	triggers int
+}
+
+func (f *fakeRebalancer) Stats() rebalance.Stats { return f.stats }
+
+func (f *fakeRebalancer) TriggerNow() (rebalance.Outcome, error) {
+	f.triggers++
+	return f.out, f.err
+}
+
+func newRebalanceServer(t *testing.T, reb Rebalancer) *Server {
+	t.Helper()
+	const dim = 16
+	db, err := vectordb.NewFlatIndex(dim, vec.L2Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(vec.RandomGaussian(vec.NewRand(1), dim)); err != nil {
+		t.Fatal(err)
+	}
+	cache, err := core.NewFlat(dim, core.Options{Capacity: 8, Tolerance: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retr, err := core.NewCachedRetriever(cache, db, core.RetrieverOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Retriever: retr, Rebalancer: reb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestRebalanceEndpoint: a manual trigger round-trips the outcome; the
+// stats payload carries the controller block.
+func TestRebalanceEndpoint(t *testing.T) {
+	reb := &fakeRebalancer{
+		stats: rebalance.Stats{
+			Samples:     7,
+			Breaches:    3,
+			Triggers:    2,
+			Rebalances:  1,
+			Declined:    1,
+			LastSample:  rebalance.Sample{Imbalance: 1.8, Entries: 500},
+			LastOutcome: rebalance.Outcome{Acted: true, Before: 2.1, After: 1.2, Moved: 42, Detail: "reseed"},
+		},
+		out: rebalance.Outcome{Acted: true, Before: 1.8, After: 1.1, Moved: 9, Detail: "manual"},
+	}
+	srv := newRebalanceServer(t, reb)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	resp, err := client.RebalanceNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Acted || resp.Moved != 9 || resp.Detail != "manual" || resp.Before != 1.8 || resp.After != 1.1 {
+		t.Errorf("rebalance response = %+v", resp)
+	}
+	if reb.triggers != 1 {
+		t.Errorf("triggers = %d, want 1", reb.triggers)
+	}
+
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rebalance == nil {
+		t.Fatal("stats payload missing the rebalance block")
+	}
+	if st.Rebalance.Samples != 7 || st.Rebalance.Rebalances != 1 || st.Rebalance.Declined != 1 {
+		t.Errorf("rebalance stats = %+v", st.Rebalance)
+	}
+	if st.Rebalance.LastImbalance != 1.8 || st.Rebalance.LastMoved != 42 || st.Rebalance.LastDetail != "reseed" {
+		t.Errorf("rebalance last-outcome fields = %+v", st.Rebalance)
+	}
+}
+
+// TestRebalanceEndpointErrors: 501 without a controller, 409 when the
+// controller refuses.
+func TestRebalanceEndpointErrors(t *testing.T) {
+	srv := newRebalanceServer(t, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	_, err := client.RebalanceNow()
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != 501 {
+		t.Fatalf("no-controller error = %v, want a 501 StatusError", err)
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rebalance != nil {
+		t.Error("stats payload should omit the rebalance block without a controller")
+	}
+
+	busy := &fakeRebalancer{err: rebalance.ErrBusy}
+	srv2 := newRebalanceServer(t, busy)
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	_, err = NewClient(ts2.URL).RebalanceNow()
+	if !errors.As(err, &se) || se.Code != 409 {
+		t.Fatalf("busy-controller error = %v, want a 409 StatusError", err)
+	}
+
+	// An actuator failure is an internal fault, not a retryable
+	// collision.
+	broken := &fakeRebalancer{err: errors.New("factory exploded mid-rebuild")}
+	srv3 := newRebalanceServer(t, broken)
+	ts3 := httptest.NewServer(srv3.Handler())
+	defer ts3.Close()
+	_, err = NewClient(ts3.URL).RebalanceNow()
+	if !errors.As(err, &se) || se.Code != 500 {
+		t.Fatalf("actuator-failure error = %v, want a 500 StatusError", err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"proximity/internal/batch"
 	"proximity/internal/core"
 	"proximity/internal/embed"
+	"proximity/internal/rebalance"
 	"proximity/internal/shard"
 	"proximity/internal/vec"
 )
@@ -28,6 +29,14 @@ type Documents interface {
 	Text(id int) (string, error)
 }
 
+// Rebalancer is the admin surface of a rebalance controller (satisfied
+// by rebalance.Controller): the stats endpoint reads its counters and
+// /v1/rebalance triggers a manual action.
+type Rebalancer interface {
+	Stats() rebalance.Stats
+	TriggerNow() (rebalance.Outcome, error)
+}
+
 // Config wires a Server.
 type Config struct {
 	// Retriever is the cache+database retrieval path (required).
@@ -36,6 +45,9 @@ type Config struct {
 	Embedder embed.Embedder
 	// Docs resolves passage text (optional).
 	Docs Documents
+	// Rebalancer exposes an adaptive rebalance controller on the admin
+	// surface (optional; /v1/rebalance returns 501 without one).
+	Rebalancer Rebalancer
 }
 
 // Server is the HTTP middleware. Create with New, mount via Handler, or
@@ -56,6 +68,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/flush", s.handleFlush)
+	s.mux.HandleFunc("POST /v1/rebalance", s.handleRebalance)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s, nil
 }
@@ -161,6 +174,35 @@ type StatsResponse struct {
 	// Batch holds miss-coalescing/batching counters, present only when
 	// the retriever's miss path runs through a batch.Pipeline.
 	Batch *BatchStats `json:"batch,omitempty"`
+
+	// Rebalance holds adaptive-rebalancing counters, present only when
+	// a controller is configured.
+	Rebalance *RebalanceStats `json:"rebalance,omitempty"`
+}
+
+// RebalanceStats is the adaptive-rebalancing slice of the stats payload.
+type RebalanceStats struct {
+	Samples       int64   `json:"samples"`
+	Breaches      int64   `json:"breaches"`
+	Triggers      int64   `json:"triggers"`
+	Rebalances    int64   `json:"rebalances"`
+	Declined      int64   `json:"declined"`
+	Failures      int64   `json:"failures"`
+	LastImbalance float64 `json:"lastImbalance"`
+	LastBefore    float64 `json:"lastBefore"`
+	LastAfter     float64 `json:"lastAfter"`
+	LastMoved     int     `json:"lastMoved"`
+	LastDetail    string  `json:"lastDetail,omitempty"`
+	LastError     string  `json:"lastError,omitempty"`
+}
+
+// RebalanceResponse reports one manually-triggered rebalance action.
+type RebalanceResponse struct {
+	Acted  bool    `json:"acted"`
+	Before float64 `json:"before"`
+	After  float64 `json:"after"`
+	Moved  int     `json:"moved"`
+	Detail string  `json:"detail,omitempty"`
 }
 
 // BatchStats is the miss-path coalescing/batching slice of the stats
@@ -351,9 +393,27 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Errors:         st.Errors,
 		}
 	}
+	var rebStats *RebalanceStats
+	if s.cfg.Rebalancer != nil {
+		st := s.cfg.Rebalancer.Stats()
+		rebStats = &RebalanceStats{
+			Samples:       st.Samples,
+			Breaches:      st.Breaches,
+			Triggers:      st.Triggers,
+			Rebalances:    st.Rebalances,
+			Declined:      st.Declined,
+			Failures:      st.Failures,
+			LastImbalance: st.LastSample.Imbalance,
+			LastBefore:    st.LastOutcome.Before,
+			LastAfter:     st.LastOutcome.After,
+			LastMoved:     st.LastOutcome.Moved,
+			LastDetail:    st.LastOutcome.Detail,
+			LastError:     st.LastError,
+		}
+	}
 	cache := s.cfg.Retriever.Cache()
 	if cache == nil {
-		writeJSON(w, http.StatusOK, StatsResponse{Batch: batchStats})
+		writeJSON(w, http.StatusOK, StatsResponse{Batch: batchStats, Rebalance: rebStats})
 		return
 	}
 	// Caches whose counters are expensive to assemble (the cluster
@@ -369,6 +429,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	resp := StatsResponse{
 		Batch:     batchStats,
+		Rebalance: rebStats,
 		Hits:      st.Hits,
 		Misses:    st.Misses,
 		HitRate:   st.HitRate(),
@@ -414,6 +475,38 @@ func (s *Server) handleFlush(w http.ResponseWriter, _ *http.Request) {
 		rs.Reset()
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleRebalance triggers one manual rebalance through the configured
+// controller — the operator's override when waiting for the sustained-
+// breach window is not wanted (e.g. right after a deliberate skew, or in
+// a runbook). The controller's post-action cooldown still arms.
+func (s *Server) handleRebalance(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Rebalancer == nil {
+		httpError(w, http.StatusNotImplemented, errors.New("no rebalance controller configured"))
+		return
+	}
+	out, err := s.cfg.Rebalancer.TriggerNow()
+	if err != nil {
+		// Only a genuine collision with another in-flight action is a
+		// retryable 409; an actuator failure (factory error mid-rebuild,
+		// hasher construction) is an internal fault — the same
+		// 4xx-vs-5xx split the retrieve path draws, and a runbook must
+		// not retry a 500 blindly against a possibly half-migrated cache.
+		code := http.StatusInternalServerError
+		if errors.Is(err, rebalance.ErrBusy) || errors.Is(err, shard.ErrMigrationInProgress) {
+			code = http.StatusConflict
+		}
+		httpError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RebalanceResponse{
+		Acted:  out.Acted,
+		Before: out.Before,
+		After:  out.After,
+		Moved:  out.Moved,
+		Detail: out.Detail,
+	})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

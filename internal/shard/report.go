@@ -35,26 +35,46 @@ type PressureReport struct {
 	// Imbalance is max shard entries over mean shard entries: 1.0 is a
 	// perfectly even spread; values well above 1 mean the partitioner
 	// concentrates keys (hot shards evict while cold shards sit idle).
+	// Defined as exactly 1.0 — never NaN or Inf — when the cache is
+	// empty or has a single shard, since no re-spreading of zero
+	// entries (or of one shard) can improve anything.
 	Imbalance float64
+}
+
+// imbalanceOf is the Imbalance definition shared by Report and
+// PreviewSeed: max shard entries over mean shard entries, pinned to the
+// perfectly-balanced 1.0 when there are no entries to spread or no
+// alternative shard to spread them to. Threshold comparisons in the
+// rebalance controller rely on the pinning — a NaN here would make every
+// comparison false and silently disable rebalancing.
+func imbalanceOf(maxEntries, totalEntries, shards int) float64 {
+	if totalEntries == 0 || shards <= 1 {
+		return 1
+	}
+	return float64(maxEntries) / (float64(totalEntries) / float64(shards))
 }
 
 // Report takes a consistent-enough snapshot of every shard (each shard is
 // read atomically; cross-shard skew under concurrent writes is bounded by
 // one in-flight operation per shard) and derives the pressure summary.
+// Counters include generations retired by re-draw migrations.
 func (c *ShardedCache) Report() PressureReport {
-	r := PressureReport{Shards: make([]ShardLoad, len(c.shards))}
+	r := PressureReport{Shards: make([]ShardLoad, len(c.slots))}
 	maxEntries := 0
-	for i, s := range c.shards {
-		st := s.Stats()
+	for i := range c.slots {
+		s := &c.slots[i]
+		s.mu.RLock()
+		st := addStats(s.base, s.cache.Stats())
 		load := ShardLoad{
 			Shard:     i,
-			Entries:   s.Len(),
-			Capacity:  s.Capacity(),
+			Entries:   s.cache.Len(),
+			Capacity:  s.cache.Capacity(),
 			Hits:      st.Hits,
 			Misses:    st.Misses,
 			Puts:      st.Puts,
 			Evictions: st.Evictions,
 		}
+		s.mu.RUnlock()
 		if load.Capacity > 0 {
 			load.Occupancy = float64(load.Entries) / float64(load.Capacity)
 		}
@@ -72,9 +92,7 @@ func (c *ShardedCache) Report() PressureReport {
 	if r.Capacity > 0 {
 		r.Occupancy = float64(r.Entries) / float64(r.Capacity)
 	}
-	if mean := float64(r.Entries) / float64(len(r.Shards)); mean > 0 {
-		r.Imbalance = float64(maxEntries) / mean
-	}
+	r.Imbalance = imbalanceOf(maxEntries, r.Entries, len(r.Shards))
 	return r
 }
 

@@ -12,12 +12,22 @@
 // core.Cache — FLAT or LSH — built by a per-shard factory, and the whole
 // structure satisfies core.Cache, making ShardedCache a drop-in for
 // core.CachedRetriever.
+//
+// A skewed query stream can still concentrate signatures on a few shards
+// (the eviction-pressure report's Imbalance makes this visible). Under
+// LSH-signature routing the partitioner is re-drawable at runtime:
+// Reseed re-draws the hyperplanes and migrates entries shard-by-shard
+// without a stop-the-world lock, and PreviewSeed predicts a candidate
+// seed's imbalance before committing to a migration. See migrate.go and
+// internal/rebalance for the controller that closes the loop.
 package shard
 
 import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"proximity/internal/core"
 	"proximity/internal/lsh"
@@ -67,7 +77,8 @@ func ParsePartition(s string) (Partition, error) {
 
 // Factory builds the sub-cache for one shard index. Factories let any
 // core.Cache variant back a shard; the helpers in this package cover the
-// FLAT and LSH cases.
+// FLAT and LSH cases. The factory is retained for the lifetime of the
+// ShardedCache: a re-draw migration (Reseed) rebuilds shards through it.
 type Factory func(shard int) (core.Cache, error)
 
 // DefaultSignatureBits is the partitioner's hyperplane count when
@@ -87,10 +98,44 @@ type Options struct {
 	// DefaultSignatureBits, capped at lsh.MaxBits.
 	SignatureBits int
 	// Seed drives the partitioner's hyperplane draw, so a fixed seed
-	// reproduces the same shard assignment.
+	// reproduces the same shard assignment. Reseed replaces it at
+	// runtime.
 	Seed uint64
 	// New builds each shard's sub-cache. Required.
 	New Factory
+}
+
+// slot is one shard position: the live sub-cache plus the counter
+// baseline carried across sub-cache generations. The lock is held shared
+// for every cache operation and exclusively only while a migration swaps
+// or fills this slot, so distinct shards never contend and a migration
+// blocks one shard at a time — never the world.
+type slot struct {
+	mu    sync.RWMutex
+	cache core.Cache
+	// base folds in the counters of retired sub-cache generations and
+	// the corrections that keep migration re-inserts out of the Puts
+	// totals; a slot's externally visible counters are always
+	// base + cache.Stats().
+	base core.Stats
+}
+
+// stats returns the slot's externally visible counters.
+func (s *slot) stats() core.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return addStats(s.base, s.cache.Stats())
+}
+
+// addStats sums two counter snapshots field-wise.
+func addStats(a, b core.Stats) core.Stats {
+	a.Hits += b.Hits
+	a.Misses += b.Misses
+	a.Puts += b.Puts
+	a.Evictions += b.Evictions
+	a.DistComps += b.DistComps
+	a.HashOps += b.HashOps
+	return a
 }
 
 // ShardedCache hash-partitions keys across independently-locked
@@ -98,10 +143,26 @@ type Options struct {
 // core.CachedRetriever wherever a FlatCache or LSHCache does. All methods
 // are safe for concurrent use; distinct shards never contend.
 type ShardedCache struct {
-	shards []core.Cache
-	part   Partition
-	hasher *lsh.Hasher // LSHSignature routing; nil under Fingerprint
-	dim    int
+	slots   []slot
+	part    Partition
+	factory Factory
+	dim     int
+	bits    int // LSHSignature hyperplane count; 0 under Fingerprint
+
+	// hasher is the LSHSignature partitioner (nil under Fingerprint).
+	// It is swapped atomically by Reseed, so routing reads never lock.
+	hasher atomic.Pointer[lsh.Hasher]
+	seed   atomic.Uint64
+	// migrateMu serializes the structural operations — Reseed and
+	// Clear. A Clear overlapping a migration would otherwise be undone
+	// piecemeal: the sweep re-inserts entries it enumerated before the
+	// flush into slots the flush already emptied, and no ordering of
+	// generation checks closes every interleaving. Reseed try-locks
+	// (ErrMigrationInProgress rather than queueing); Clear waits — a
+	// flush blocking for one migration's milliseconds beats a flush
+	// that silently resurrects entries. Per-query operations never
+	// touch this lock.
+	migrateMu sync.Mutex
 }
 
 var _ core.Cache = (*ShardedCache)(nil)
@@ -126,9 +187,10 @@ func New(dim int, opts Options) (*ShardedCache, error) {
 		opts.Partition = LSHSignature
 	}
 	c := &ShardedCache{
-		shards: make([]core.Cache, n),
-		part:   opts.Partition,
-		dim:    dim,
+		slots:   make([]slot, n),
+		part:    opts.Partition,
+		factory: opts.New,
+		dim:     dim,
 	}
 	switch opts.Partition {
 	case LSHSignature:
@@ -143,13 +205,15 @@ func New(dim int, opts Options) (*ShardedCache, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.hasher = hasher
+		c.bits = bits
+		c.hasher.Store(hasher)
+		c.seed.Store(opts.Seed)
 	case Fingerprint:
 		// No partitioner state needed.
 	default:
 		return nil, fmt.Errorf("shard: unknown partition strategy %d", int(opts.Partition))
 	}
-	for i := range c.shards {
+	for i := range c.slots {
 		sub, err := opts.New(i)
 		if err != nil {
 			return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
@@ -157,7 +221,7 @@ func New(dim int, opts Options) (*ShardedCache, error) {
 		if sub == nil {
 			return nil, fmt.Errorf("shard: factory returned nil cache for shard %d", i)
 		}
-		c.shards[i] = sub
+		c.slots[i].cache = sub
 	}
 	return c, nil
 }
@@ -204,17 +268,47 @@ func NewLSH(dim, shards int, opts core.LSHOptions) (*ShardedCache, error) {
 }
 
 // ShardFor returns the shard index a query routes to. Deterministic for a
-// fixed construction seed; exported for diagnostics and tests.
+// fixed partitioner seed (Reseed re-draws it); exported for diagnostics
+// and tests.
 func (c *ShardedCache) ShardFor(q vec.Vector) int {
-	var h uint32
 	switch c.part {
 	case Fingerprint:
-		h = FingerprintOf(q)
+		return int(FingerprintOf(q) % uint32(len(c.slots)))
 	default:
-		h = c.hasher.Hash(q)
+		return shardIndex(c.hasher.Load().Hash(q), len(c.slots))
 	}
-	return int(h % uint32(len(c.shards)))
 }
+
+// shardIndex reduces an LSH signature to a shard index. The signature
+// MUST be avalanche-mixed before the modulo: a raw `sig % n` with a
+// power-of-two shard count keeps only the low log2(n) bits, i.e. the
+// signs of the first few hyperplanes — every other hyperplane (and most
+// of a re-draw's entropy) would be dead weight, exactly the low-bit
+// pathology the cluster ring's keyPos already corrects for. Shared by
+// routing (ShardFor), migration (Reseed), and prediction (PreviewSeed),
+// which must agree bit-for-bit.
+func shardIndex(sig uint32, n int) int {
+	return int(mix32(sig) % uint32(n))
+}
+
+// mix32 is the murmur3 finalizer: a full-avalanche bijection on 32-bit
+// words.
+func mix32(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	x *= 0xc2b2ae35
+	x ^= x >> 16
+	return x
+}
+
+// Seed returns the current partitioner seed (the construction seed until
+// the first Reseed).
+func (c *ShardedCache) Seed() uint64 { return c.seed.Load() }
+
+// SignatureBits returns the partitioner's hyperplane count (0 under
+// Fingerprint routing).
+func (c *ShardedCache) SignatureBits() int { return c.bits }
 
 // FingerprintOf is FNV-1a over the embedding's float bits — the exact-
 // match routing key. Shared with the batch pipeline (internal/batch),
@@ -236,13 +330,44 @@ func FingerprintOf(q vec.Vector) uint32 {
 	return h
 }
 
+// slotFor routes the query and returns its slot with the shared lock
+// HELD (the caller unlocks). Routing is re-validated after the lock is
+// acquired: a Reseed landing between the hash and the lock would
+// otherwise direct this operation at a shard the migration has already
+// swept — a Put there would be stranded where the new draw never looks
+// until eviction. If the partitioner pointer is unchanged once the lock
+// is held, any future swap's sweep must queue behind this lock and will
+// carry the operation's effect along; if it changed, re-route under the
+// new draw (in practice at most one retry per migration).
+func (c *ShardedCache) slotFor(q vec.Vector) *slot {
+	n := uint32(len(c.slots))
+	if c.part == Fingerprint {
+		s := &c.slots[FingerprintOf(q)%n]
+		s.mu.RLock()
+		return s
+	}
+	for {
+		h := c.hasher.Load()
+		s := &c.slots[shardIndex(h.Hash(q), len(c.slots))]
+		s.mu.RLock()
+		if c.hasher.Load() == h {
+			return s
+		}
+		s.mu.RUnlock()
+	}
+}
+
 // Get routes the query to its shard and looks it up there. Only that
-// shard's lock is taken.
+// shard's lock is shared-held for the duration, so distinct shards never
+// contend and a concurrent migration of this shard delays the lookup by
+// at most one slot rebuild.
 func (c *ShardedCache) Get(q vec.Vector) ([]int, bool) {
 	if q == nil {
 		return nil, false
 	}
-	return c.shards[c.ShardFor(q)].Get(q)
+	s := c.slotFor(q)
+	defer s.mu.RUnlock()
+	return s.cache.Get(q)
 }
 
 // Put routes the entry to its shard and inserts it under the sub-cache's
@@ -251,7 +376,9 @@ func (c *ShardedCache) Put(q vec.Vector, docs []int) {
 	if q == nil {
 		return
 	}
-	c.shards[c.ShardFor(q)].Put(q, docs)
+	s := c.slotFor(q)
+	defer s.mu.RUnlock()
+	s.cache.Put(q, docs)
 }
 
 // PutWithTolerance routes the entry to its shard and inserts it with its
@@ -260,14 +387,19 @@ func (c *ShardedCache) PutWithTolerance(q vec.Vector, docs []int, tol float32) {
 	if q == nil {
 		return
 	}
-	c.shards[c.ShardFor(q)].PutWithTolerance(q, docs, tol)
+	s := c.slotFor(q)
+	defer s.mu.RUnlock()
+	s.cache.PutWithTolerance(q, docs, tol)
 }
 
 // Len returns the total number of entries across shards.
 func (c *ShardedCache) Len() int {
 	total := 0
-	for _, s := range c.shards {
-		total += s.Len()
+	for i := range c.slots {
+		s := &c.slots[i]
+		s.mu.RLock()
+		total += s.cache.Len()
+		s.mu.RUnlock()
 	}
 	return total
 }
@@ -275,26 +407,39 @@ func (c *ShardedCache) Len() int {
 // Capacity returns the summed capacity of all shards.
 func (c *ShardedCache) Capacity() int {
 	total := 0
-	for _, s := range c.shards {
-		total += s.Capacity()
+	for i := range c.slots {
+		s := &c.slots[i]
+		s.mu.RLock()
+		total += s.cache.Capacity()
+		s.mu.RUnlock()
 	}
 	return total
 }
 
 // NumShards returns the partition count.
-func (c *ShardedCache) NumShards() int { return len(c.shards) }
+func (c *ShardedCache) NumShards() int { return len(c.slots) }
 
 // Partition returns the routing strategy.
 func (c *ShardedCache) Partition() Partition { return c.part }
 
-// Shard returns the i-th sub-cache, for diagnostics and tests.
-func (c *ShardedCache) Shard(i int) core.Cache { return c.shards[i] }
+// Shard returns the i-th sub-cache, for diagnostics and tests. A
+// migration may retire the returned instance at any time; counters read
+// directly from it miss the slot baseline, so use ShardStats for
+// accounting.
+func (c *ShardedCache) Shard(i int) core.Cache {
+	s := &c.slots[i]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cache
+}
 
-// ShardStats returns a per-shard snapshot of the cumulative counters.
+// ShardStats returns a per-shard snapshot of the cumulative counters,
+// including counters carried over from sub-cache generations a migration
+// has retired.
 func (c *ShardedCache) ShardStats() []core.Stats {
-	out := make([]core.Stats, len(c.shards))
-	for i, s := range c.shards {
-		out[i] = s.Stats()
+	out := make([]core.Stats, len(c.slots))
+	for i := range c.slots {
+		out[i] = c.slots[i].stats()
 	}
 	return out
 }
@@ -306,25 +451,26 @@ func (c *ShardedCache) ShardStats() []core.Stats {
 // distinct shards share no mutable state at all.
 func (c *ShardedCache) Stats() core.Stats {
 	var agg core.Stats
-	for _, s := range c.shards {
-		st := s.Stats()
-		agg.Hits += st.Hits
-		agg.Misses += st.Misses
-		agg.Puts += st.Puts
-		agg.Evictions += st.Evictions
-		agg.DistComps += st.DistComps
-		agg.HashOps += st.HashOps
+	for i := range c.slots {
+		agg = addStats(agg, c.slots[i].stats())
 	}
-	if c.hasher != nil {
-		agg.HashOps += (agg.Hits + agg.Misses + agg.Puts) * int64(c.hasher.Bits())
+	if c.part == LSHSignature {
+		agg.HashOps += (agg.Hits + agg.Misses + agg.Puts) * int64(c.bits)
 	}
 	return agg
 }
 
 // Clear removes all entries from every shard (counters are preserved by
-// sub-caches that preserve them).
+// sub-caches that preserve them). Clear waits for any in-flight
+// migration first, so its flush cannot be undone by migration
+// deliveries re-inserting already-enumerated entries.
 func (c *ShardedCache) Clear() {
-	for _, s := range c.shards {
-		s.Clear()
+	c.migrateMu.Lock()
+	defer c.migrateMu.Unlock()
+	for i := range c.slots {
+		s := &c.slots[i]
+		s.mu.RLock()
+		s.cache.Clear()
+		s.mu.RUnlock()
 	}
 }

@@ -101,6 +101,34 @@
 // `proximity-server -node` / `-peers` for the deployment shape, and
 // `proximity-bench -experiment loadtest -cluster N` for the loopback
 // A/B against single-process sharding.
+//
+// # Adaptive shard rebalancing
+//
+// A skewed (Zipf-like) query stream can concentrate LSH signatures on a
+// few shards, so one hot shard's lock and scan length dominate tail
+// latency while cold shards idle — visible as PressureReport.Imbalance.
+// NewAdaptiveShardedCache closes the loop: a controller watches the
+// report and, when the imbalance stays above a threshold for a sustained
+// window, re-draws the partitioner to the best of several auditioned
+// candidate seeds and migrates entries shard-by-shard with no
+// stop-the-world lock (transient misses are the only cost — never a
+// failed or wrong answer):
+//
+//	base, _ := proximity.NewShardedFlatCache(768, 8, proximity.Options{
+//		Capacity: 8192, Tolerance: 5, Policy: proximity.LRU,
+//	}, 1)
+//	cache, _ := proximity.NewAdaptiveShardedCache(base,
+//		proximity.RebalanceOptions{}, proximity.ShardRebalanceOptions{})
+//	defer cache.Close()
+//	retriever, _ := proximity.NewRetriever(cache, db, proximity.RetrieverOptions{K: 4})
+//
+// The distributed tier gets the same policy at the network level:
+// ClusterOptions.Rebalance re-weights ring virtual nodes to shift hash
+// arcs off overloaded nodes. See internal/rebalance for the design note,
+// examples/rebalance for a complete program, `proximity-server
+// -rebalance-threshold` (plus the /v1/rebalance admin endpoint) for the
+// deployment shape, and `proximity-bench -experiment rebalance` for the
+// static-vs-adaptive A/B on a skewed workload.
 package proximity
 
 import (
@@ -111,6 +139,7 @@ import (
 	"proximity/internal/core"
 	"proximity/internal/embed"
 	"proximity/internal/loadgen"
+	"proximity/internal/rebalance"
 	"proximity/internal/shard"
 	"proximity/internal/vec"
 	"proximity/internal/vectordb"
@@ -215,6 +244,22 @@ type (
 	ClusterNodeStatus = cluster.NodeStatus
 	// ClusterRouterStats are the cluster client's routing counters.
 	ClusterRouterStats = cluster.RouterStats
+
+	// RebalanceOptions is the adaptive rebalance controller policy:
+	// threshold, sustained window, cooldown, sampling interval.
+	RebalanceOptions = rebalance.Options
+	// RebalanceController is the watch-and-act loop behind adaptive
+	// rebalancing (shared by the shard and cluster tiers).
+	RebalanceController = rebalance.Controller
+	// RebalanceStats are the controller's cumulative counters.
+	RebalanceStats = rebalance.Stats
+	// RebalanceOutcome reports one rebalance action.
+	RebalanceOutcome = rebalance.Outcome
+	// ShardRebalanceOptions tunes the in-process re-draw actuator
+	// (candidate seed count, minimum predicted gain).
+	ShardRebalanceOptions = rebalance.ShardTargetOptions
+	// ShardMigration summarizes one partitioner re-draw migration.
+	ShardMigration = shard.Migration
 )
 
 // Eviction policies.
@@ -315,6 +360,47 @@ func NewShardedFlatCache(dim, shards int, opts Options, seed uint64) (*ShardedCa
 func NewShardedLSHCache(dim, shards int, opts LSHOptions) (*ShardedCache, error) {
 	return shard.NewLSH(dim, shards, opts)
 }
+
+// AdaptiveShardedCache is a ShardedCache coupled to a running rebalance
+// controller: sustained shard imbalance triggers a partitioner re-draw
+// that migrates entries shard-by-shard. It exposes the full ShardedCache
+// surface (and therefore Cache); Close stops the controller (the cache
+// itself remains usable).
+type AdaptiveShardedCache struct {
+	*ShardedCache
+	ctrl *rebalance.Controller
+}
+
+// NewAdaptiveShardedCache attaches an adaptive rebalancing loop to a
+// sharded cache (built with NewShardedFlatCache, NewShardedLSHCache, or
+// NewShardedCache; LSH-signature routing required — fingerprint routing
+// has no signature to re-draw). When the cache's miss path runs through
+// a BatchPipeline in CoalesceLSH mode, pass it via
+// ShardRebalanceOptions.OnReseed (wired to its Reseed method) so
+// duplicate detection follows the re-drawn signature. The controller is
+// already started; call Close to stop it.
+func NewAdaptiveShardedCache(cache *ShardedCache, policy RebalanceOptions, target ShardRebalanceOptions) (*AdaptiveShardedCache, error) {
+	t, err := rebalance.NewShardTarget(cache, target)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := rebalance.New(t, t, policy)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctrl.Start(); err != nil {
+		return nil, err
+	}
+	return &AdaptiveShardedCache{ShardedCache: cache, ctrl: ctrl}, nil
+}
+
+// Controller returns the running rebalance controller (stats, manual
+// triggers).
+func (a *AdaptiveShardedCache) Controller() *RebalanceController { return a.ctrl }
+
+// Close stops the rebalance controller. The underlying cache stays
+// usable; only the adaptive loop ends.
+func (a *AdaptiveShardedCache) Close() error { return a.ctrl.Close() }
 
 // NewBatchPipeline creates the miss-coalescing batched search path over a
 // database. Wire it into NewRetriever through RetrieverOptions.Searcher
