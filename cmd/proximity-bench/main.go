@@ -7,11 +7,13 @@
 //	    [-batch] [-batch-size B] [-batch-timeout D] [-cluster N]
 //	proximity-bench -experiment rebalance [-shards N] [-concurrency K]
 //	    [-rebalance-threshold T]
+//	proximity-bench -experiment annindex [-entries N,M] [-ann-queries Q]
+//	    [-ann-ef E1,E2] [-bench-out PATH]
 //
 // where LIST is a comma-separated subset of
 // fig2,fig3,fig6-mmlu,fig6-medrag,fig7,fig8,fig9,fig10,fig11,fig12,opcount,
-// loadtest,rebalance or "all" (default: every figure; loadtest and
-// rebalance run only when named).
+// loadtest,rebalance,annindex or "all" (default: every figure; loadtest,
+// rebalance, and annindex run only when named).
 // Results print to stdout; redirect to a file to keep them. The -quick
 // flag switches to the CI-sized configuration.
 //
@@ -30,12 +32,19 @@
 // with the rebalance controller re-drawing the partitioner mid-traffic,
 // reporting p95/p99, post-skew imbalance, and migration safety (zero
 // failed queries).
+//
+// The annindex experiment A/B-tests the cache lookup structures head to
+// head — flat scan vs LSH buckets vs the graph-indexed cache — at the
+// entry counts given by -entries, replaying an identical query stream
+// against identically filled caches. It prints the comparison and writes
+// the machine-readable result to -bench-out (default BENCH_annindex.json).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -90,6 +99,10 @@ func run(args []string) error {
 		batchSize    = fs.Int("batch-size", 0, "loadtest: batch pipeline flush size (0 = default)")
 		batchTimeout = fs.Duration("batch-timeout", 0, "loadtest: batch pipeline flush deadline (0 = default)")
 		rebThresh    = fs.Float64("rebalance-threshold", 0, "rebalance: controller imbalance trigger (0 = default)")
+		entries      = fs.String("entries", "", "annindex: comma-separated resident-entry counts (default 100000)")
+		annQueries   = fs.Int("ann-queries", 0, "annindex: lookups per variant (0 = default)")
+		annEf        = fs.String("ann-ef", "", "annindex: comma-separated beam widths to sweep (default 64,128,256)")
+		benchOut     = fs.String("bench-out", "BENCH_annindex.json", "annindex: output path for the JSON result")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,6 +125,32 @@ func run(args []string) error {
 			Concurrency: *concurrency,
 			Threshold:   *rebThresh,
 		})
+	}})
+	available = append(available, figure{"annindex", func(s *experiments.Suite) (renderer, error) {
+		counts, err := parseEntryCounts(*entries)
+		if err != nil {
+			return nil, err
+		}
+		if *quick && counts == nil {
+			counts = []int{5000}
+		}
+		sweep, err := parseEntryCounts(*annEf)
+		if err != nil {
+			return nil, fmt.Errorf("bad -ann-ef: %w", err)
+		}
+		res, err := experiments.ANNIndex(experiments.ANNIndexOptions{
+			Entries: counts,
+			Queries: *annQueries,
+			EfSweep: sweep,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := writeBenchJSON(*benchOut, res); err != nil {
+			return nil, err
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
+		return res, nil
 	}})
 	if *list {
 		for _, f := range available {
@@ -153,6 +192,36 @@ func run(args []string) error {
 		fmt.Printf("(%s finished in %v)\n\n", f.name, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// parseEntryCounts turns "100000,1000000" into entry counts; an empty
+// string defers to the experiment's default.
+func parseEntryCounts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -entries value %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// writeBenchJSON persists the annindex result as a BENCH_*.json artifact.
+func writeBenchJSON(path string, res *experiments.ANNIndexResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // selectFigures resolves the -experiment list against the available set.

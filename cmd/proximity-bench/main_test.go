@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestSelectFigures(t *testing.T) {
 	available := append([]figure{}, figures...)
@@ -62,6 +67,62 @@ func TestRunSingleQuickExperiment(t *testing.T) {
 	// opcount is the cheapest full experiment.
 	if err := run([]string{"-quick", "-experiment", "opcount"}); err != nil {
 		t.Errorf("quick opcount run failed: %v", err)
+	}
+}
+
+func TestParseEntryCounts(t *testing.T) {
+	got, err := parseEntryCounts("100000, 1000000")
+	if err != nil || len(got) != 2 || got[0] != 100000 || got[1] != 1000000 {
+		t.Fatalf("parseEntryCounts = %v, %v", got, err)
+	}
+	if got, err := parseEntryCounts(""); got != nil || err != nil {
+		t.Fatalf("empty should defer to defaults, got %v, %v", got, err)
+	}
+	for _, bad := range []string{"abc", "0", "-5", "10,"} {
+		if _, err := parseEntryCounts(bad); err == nil {
+			t.Errorf("parseEntryCounts(%q) should error", bad)
+		}
+	}
+}
+
+// TestRunANNIndexWritesJSON: the annindex experiment must emit a
+// well-formed BENCH_*.json with the full three-way comparison.
+func TestRunANNIndexWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI smoke test in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_annindex.json")
+	err := run([]string{
+		"-experiment", "annindex",
+		"-entries", "2000", "-ann-queries", "60", "-bench-out", out,
+	})
+	if err != nil {
+		t.Fatalf("annindex run failed: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Dim    int `json:"dim"`
+		Points []struct {
+			Entries int `json:"entries"`
+			Flat    struct {
+				HitRate float64 `json:"hitRate"`
+			} `json:"flat"`
+			Indexed struct {
+				HitRate float64 `json:"hitRate"`
+			} `json:"indexed"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("BENCH json is malformed: %v", err)
+	}
+	if len(res.Points) != 1 || res.Points[0].Entries != 2000 {
+		t.Fatalf("unexpected points: %+v", res.Points)
+	}
+	if res.Points[0].Flat.HitRate == 0 || res.Points[0].Indexed.HitRate == 0 {
+		t.Errorf("hit rates missing: %+v", res.Points[0])
 	}
 }
 

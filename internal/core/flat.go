@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"proximity/internal/vec"
 )
@@ -19,10 +20,14 @@ type FlatCache struct {
 	opts Options
 	dist vec.DistanceFunc
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	entries []*flatEntry
 	order   *list.List // eviction order; front = next to evict
 	stats   Stats
+	// distComps is accounted atomically (not under mu) so read-only
+	// scans — Peek/PeekAdmissible under RLock — can run concurrently
+	// while still charging their distance computations.
+	distComps atomic.Int64
 }
 
 type flatEntry struct {
@@ -81,9 +86,11 @@ func (c *FlatCache) Get(q vec.Vector) ([]int, bool) {
 // Peek reports the distance to the closest cached key without affecting
 // recency or hit/miss counters (the scan's distance computations are
 // still charged). Used by multi-probe lookups, diagnostics, and tests.
+// Peek mutates nothing, so it takes only a read lock: concurrent
+// multi-probe bucket rankings scan in parallel instead of serializing.
 func (c *FlatCache) Peek(q vec.Vector) (dist float32, ok bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	scan := c.scanLocked(q)
 	if scan.closest == nil {
 		return 0, false
@@ -93,10 +100,11 @@ func (c *FlatCache) Peek(q vec.Vector) (dist float32, ok bool) {
 
 // PeekAdmissible reports the distance to the closest cached key whose own
 // tolerance admits the query, without affecting recency or hit/miss
-// counters. Multi-probe lookups use it to rank candidate buckets.
+// counters. Multi-probe lookups use it to rank candidate buckets; like
+// Peek it holds only a read lock, so concurrent rankings don't serialize.
 func (c *FlatCache) PeekAdmissible(q vec.Vector) (dist float32, ok bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	scan := c.scanLocked(q)
 	if scan.admissible == nil {
 		return 0, false
@@ -116,7 +124,7 @@ type scanResult struct {
 
 // scanLocked performs the linear scan, charging one distance computation
 // per cached key. Ties keep the first-scanned entry, matching the paper's
-// min_by_dist.
+// min_by_dist. Callers hold mu at least for reading.
 func (c *FlatCache) scanLocked(q vec.Vector) scanResult {
 	var res scanResult
 	for _, e := range c.entries {
@@ -128,7 +136,7 @@ func (c *FlatCache) scanLocked(q vec.Vector) scanResult {
 			res.admissible, res.admissibleDist = e, d
 		}
 	}
-	c.stats.DistComps += int64(len(c.entries))
+	c.distComps.Add(int64(len(c.entries)))
 	return res
 }
 
@@ -189,8 +197,8 @@ func (c *FlatCache) evictLocked() {
 
 // Len returns the number of cached entries.
 func (c *FlatCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return len(c.entries)
 }
 
@@ -205,9 +213,11 @@ func (c *FlatCache) Policy() Policy { return c.opts.Policy }
 
 // Stats returns a snapshot of the counters.
 func (c *FlatCache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := c.stats
+	s.DistComps = c.distComps.Load()
+	return s
 }
 
 // Clear drops all entries, preserving counters.
@@ -222,8 +232,8 @@ func (c *FlatCache) Clear() {
 // i.e. next to evict, first), so re-inserting them in order reproduces
 // the same eviction sequence. Implements EntrySource; O(c·d).
 func (c *FlatCache) Entries() []Entry {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]Entry, 0, len(c.entries))
 	for el := c.order.Front(); el != nil; el = el.Next() {
 		e, ok := el.Value.(*flatEntry)
@@ -242,8 +252,8 @@ func (c *FlatCache) Entries() []Entry {
 // Keys returns copies of the cached key embeddings in eviction order
 // (front first). Diagnostic; O(c·d).
 func (c *FlatCache) Keys() []vec.Vector {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]vec.Vector, 0, len(c.entries))
 	for el := c.order.Front(); el != nil; el = el.Next() {
 		entry, ok := el.Value.(*flatEntry)

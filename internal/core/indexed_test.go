@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"proximity/internal/vec"
+)
+
+func TestNewIndexedValidation(t *testing.T) {
+	if _, err := NewIndexed(0, IndexedOptions{Capacity: 10}); err == nil {
+		t.Fatal("expected error for zero dim")
+	}
+	if _, err := NewIndexed(4, IndexedOptions{Capacity: 0}); err == nil {
+		t.Fatal("expected error for zero capacity")
+	}
+	if _, err := NewIndexed(4, IndexedOptions{Capacity: 10, Tolerance: -1}); err == nil {
+		t.Fatal("expected error for negative tolerance")
+	}
+	if _, err := NewIndexed(4, IndexedOptions{Capacity: 10, Crossover: -1}); err == nil {
+		t.Fatal("expected error for negative crossover")
+	}
+	if _, err := NewIndexed(4, IndexedOptions{Capacity: 10, EfSearch: -1}); err == nil {
+		t.Fatal("expected error for negative efSearch")
+	}
+}
+
+// perturb returns a point at exactly the given L2 distance from v.
+func perturb(rng *rand.Rand, v vec.Vector, dist float32) vec.Vector {
+	dir := vec.RandomGaussian(rng, len(v))
+	dir = vec.Scale(dir, dist/vec.Norm(dir))
+	out := vec.Clone(v)
+	for i := range out {
+		out[i] += dir[i]
+	}
+	return out
+}
+
+// TestIndexedMatchesFlatProperty is the equivalence property test: with a
+// beam wide enough to cover the whole graph, the quantized + re-ranked
+// indexed lookup must return the SAME hit/miss decision and the SAME
+// documents as the exact float32 flat scan — over random queries and
+// adversarial queries placed just inside and just outside per-entry
+// tolerances. Quantization may reorder candidate discovery, but exact
+// re-ranking decides admission, so the observable behavior is identical.
+func TestIndexedMatchesFlatProperty(t *testing.T) {
+	const (
+		dim = 8
+		n   = 250
+		tau = 0.5
+	)
+	rng := vec.NewRand(21)
+	flat, err := NewFlat(dim, Options{Capacity: n + 10, Tolerance: tau})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := NewIndexed(dim, IndexedOptions{
+		Capacity:  n + 10,
+		Tolerance: tau,
+		Crossover: 1,     // force the graph path
+		EfSearch:  4 * n, // beam ≥ graph size: full coverage
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]vec.Vector, n)
+	tols := make([]float32, n)
+	for i := range keys {
+		keys[i] = vec.Scale(vec.RandomGaussian(rng, dim), 2)
+		tols[i] = tau * float32(rng.Float64())
+		docs := []int{i}
+		flat.PutWithTolerance(keys[i], docs, tols[i])
+		idx.PutWithTolerance(keys[i], docs, tols[i])
+	}
+
+	check := func(q vec.Vector, what string) {
+		t.Helper()
+		fd, fok := flat.Get(q)
+		id, iok := idx.Get(q)
+		if fok != iok {
+			t.Fatalf("%s: flat ok=%v, indexed ok=%v", what, fok, iok)
+		}
+		if fok && (len(fd) != 1 || len(id) != 1 || fd[0] != id[0]) {
+			t.Fatalf("%s: flat docs=%v, indexed docs=%v", what, fd, id)
+		}
+	}
+
+	// Random queries: a mix of hits and misses.
+	for i := 0; i < 300; i++ {
+		check(vec.Scale(vec.RandomGaussian(rng, dim), 2), fmt.Sprintf("random %d", i))
+	}
+	// Adversarial: just inside and just outside each entry's own
+	// tolerance, where a quantization-perturbed admission would differ.
+	for i, k := range keys {
+		if tols[i] == 0 {
+			continue
+		}
+		check(perturb(rng, k, tols[i]*0.99), fmt.Sprintf("inside entry %d", i))
+		check(perturb(rng, k, tols[i]*1.01), fmt.Sprintf("outside entry %d", i))
+	}
+	s := idx.IndexStats()
+	if s.Searches == 0 || s.Reranks == 0 {
+		t.Fatalf("graph path not exercised: %+v", s)
+	}
+}
+
+// TestIndexedRecallFloor checks the default-beam indexed cache keeps at
+// least 90% of the flat scan's hits on a within-tolerance workload.
+func TestIndexedRecallFloor(t *testing.T) {
+	const (
+		dim = 16
+		n   = 1500
+		tau = 0.4
+	)
+	rng := vec.NewRand(23)
+	flat, err := NewFlat(dim, Options{Capacity: n + 10, Tolerance: tau})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := NewIndexed(dim, IndexedOptions{Capacity: n + 10, Tolerance: tau, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]vec.Vector, n)
+	for i := range keys {
+		keys[i] = vec.Scale(vec.RandomGaussian(rng, dim), 2)
+		flat.Put(keys[i], []int{i})
+		idx.Put(keys[i], []int{i})
+	}
+	flatHits, idxHits := 0, 0
+	for i := 0; i < 500; i++ {
+		q := perturb(rng, keys[rng.IntN(n)], tau*float32(rng.Float64()))
+		if _, ok := flat.Get(q); ok {
+			flatHits++
+		}
+		if _, ok := idx.Get(q); ok {
+			idxHits++
+		}
+	}
+	if flatHits == 0 {
+		t.Fatal("flat scan found no hits; workload is broken")
+	}
+	if recall := float64(idxHits) / float64(flatHits); recall < 0.9 {
+		t.Fatalf("indexed hits %d / flat hits %d = %.3f, want ≥ 0.9", idxHits, flatHits, recall)
+	}
+}
+
+// TestIndexedChurn drives FIFO eviction well past capacity and checks the
+// cache and its graph stay bounded and queryable.
+func TestIndexedChurn(t *testing.T) {
+	const (
+		dim      = 8
+		capacity = 200
+		puts     = 1000
+	)
+	rng := vec.NewRand(29)
+	idx, err := NewIndexed(dim, IndexedOptions{Capacity: capacity, Tolerance: 0.3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recent []vec.Vector
+	for i := 0; i < puts; i++ {
+		k := vec.Scale(vec.RandomGaussian(rng, dim), 2)
+		idx.Put(k, []int{i})
+		recent = append(recent, k)
+		if len(recent) > capacity {
+			recent = recent[1:]
+		}
+	}
+	if idx.Len() != capacity {
+		t.Fatalf("len=%d, want %d", idx.Len(), capacity)
+	}
+	s := idx.IndexStats()
+	if s.Nodes != capacity {
+		t.Fatalf("graph nodes=%d, want %d", s.Nodes, capacity)
+	}
+	if s.Slots > capacity+1 {
+		t.Fatalf("graph slots=%d after churn, want ≤ %d (slot reuse)", s.Slots, capacity+1)
+	}
+	if st := idx.Stats(); st.Evictions != puts-capacity {
+		t.Fatalf("evictions=%d, want %d", st.Evictions, puts-capacity)
+	}
+	hits := 0
+	for _, k := range recent {
+		if docs, ok := idx.Get(k); ok && len(docs) == 1 {
+			hits++
+		}
+	}
+	// Slot reuse leaves stale incoming edges, so churned graphs lose a
+	// few percent of self-recall versus a freshly built one — bound the
+	// degradation rather than expecting none.
+	if frac := float64(hits) / float64(len(recent)); frac < 0.9 {
+		t.Fatalf("post-churn self-hit rate %.2f, want ≥ 0.9", frac)
+	}
+}
+
+func TestIndexedLRU(t *testing.T) {
+	idx, err := NewIndexed(2, IndexedOptions{Capacity: 2, Tolerance: 0.1, Policy: LRU, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := vec.Vector{0, 0}, vec.Vector{10, 0}, vec.Vector{0, 10}
+	idx.Put(a, []int{1})
+	idx.Put(b, []int{2})
+	if _, ok := idx.Get(a); !ok { // refresh a
+		t.Fatal("expected hit on a")
+	}
+	idx.Put(c, []int{3}) // evicts b, the LRU entry
+	if _, ok := idx.Get(b); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := idx.Get(a); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := idx.Get(c); !ok {
+		t.Fatal("c should be cached")
+	}
+}
+
+func TestIndexedCrossoverPaths(t *testing.T) {
+	idx, err := NewIndexed(4, IndexedOptions{Capacity: 100, Tolerance: 0.1, Crossover: 10, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := vec.NewRand(31)
+	for i := 0; i < 5; i++ {
+		idx.Put(vec.RandomGaussian(rng, 4), []int{i})
+	}
+	idx.Get(vec.RandomGaussian(rng, 4))
+	if s := idx.IndexStats(); s.BruteScans != 1 || s.Searches != 0 {
+		t.Fatalf("below crossover: bruteScans=%d searches=%d", s.BruteScans, s.Searches)
+	}
+	for i := 5; i < 20; i++ {
+		idx.Put(vec.RandomGaussian(rng, 4), []int{i})
+	}
+	idx.Get(vec.RandomGaussian(rng, 4))
+	if s := idx.IndexStats(); s.BruteScans != 1 || s.Searches != 1 {
+		t.Fatalf("above crossover: bruteScans=%d searches=%d", s.BruteScans, s.Searches)
+	}
+	if st := idx.Stats(); st.DistComps == 0 {
+		t.Fatal("DistComps not charged")
+	}
+}
+
+func TestIndexedSetEfSearch(t *testing.T) {
+	idx, err := NewIndexed(4, IndexedOptions{Capacity: 100, Tolerance: 0.1, EfSearch: 32, Crossover: 1, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.EfSearch(); got != 32 {
+		t.Fatalf("EfSearch() = %d, want 32", got)
+	}
+	idx.SetEfSearch(0) // ignored
+	idx.SetEfSearch(-4)
+	if got := idx.EfSearch(); got != 32 {
+		t.Fatalf("EfSearch() after bad sets = %d, want 32", got)
+	}
+	idx.SetEfSearch(128)
+	if got := idx.EfSearch(); got != 128 {
+		t.Fatalf("EfSearch() = %d, want 128", got)
+	}
+	// Lookups keep working with the retuned beam.
+	rng := vec.NewRand(29)
+	k := vec.RandomGaussian(rng, 4)
+	idx.Put(k, []int{7})
+	if docs, ok := idx.Get(k); !ok || docs[0] != 7 {
+		t.Fatalf("get after SetEfSearch = %v %v", docs, ok)
+	}
+}
+
+func TestIndexedEntriesAndClear(t *testing.T) {
+	idx, err := NewIndexed(2, IndexedOptions{Capacity: 5, Tolerance: 0.1, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		idx.PutWithTolerance(vec.Vector{float32(i), 0}, []int{i}, float32(i)*0.1)
+	}
+	entries := idx.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries, want 3", len(entries))
+	}
+	for i, e := range entries { // eviction (insert) order
+		if e.Docs[0] != i || e.Key[0] != float32(i) || e.Tol != float32(i)*0.1 {
+			t.Fatalf("entry %d = %+v", i, e)
+		}
+	}
+	keys := idx.Keys()
+	if len(keys) != 3 || keys[1][0] != 1 {
+		t.Fatalf("keys = %v", keys)
+	}
+	before := idx.Stats()
+	idx.Clear()
+	if idx.Len() != 0 {
+		t.Fatalf("len=%d after clear", idx.Len())
+	}
+	if after := idx.Stats(); after.Puts != before.Puts {
+		t.Fatal("Clear must preserve counters")
+	}
+	// The cache must keep working after the rebuild.
+	idx.Put(vec.Vector{1, 1}, []int{9})
+	if docs, ok := idx.Get(vec.Vector{1, 1}); !ok || docs[0] != 9 {
+		t.Fatalf("post-clear get = %v %v", docs, ok)
+	}
+}
+
+func TestIndexedIgnoresBadInput(t *testing.T) {
+	idx, err := NewIndexed(3, IndexedOptions{Capacity: 5, Tolerance: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.Put(nil, []int{1})
+	idx.Put(vec.Vector{1, 2}, []int{1})                // wrong dim
+	idx.PutWithTolerance(vec.Vector{1, 2, 3}, nil, -1) // negative tol
+	if idx.Len() != 0 {
+		t.Fatalf("bad puts were accepted: len=%d", idx.Len())
+	}
+	if _, ok := idx.Get(nil); ok {
+		t.Fatal("nil query hit")
+	}
+	if _, ok := idx.Get(vec.Vector{1}); ok {
+		t.Fatal("wrong-dim query hit")
+	}
+	if idx.Capacity() != 5 || idx.Tolerance() != 0.1 || idx.Policy() != FIFO {
+		t.Fatal("accessor mismatch")
+	}
+}

@@ -1,0 +1,292 @@
+package hnsw
+
+import (
+	"testing"
+
+	"proximity/internal/vec"
+	"proximity/internal/vectordb"
+)
+
+func TestInsertReturnsSequentialIDs(t *testing.T) {
+	ix, err := New(4, vec.L2Distance, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := vec.NewRand(7)
+	for i := 0; i < 10; i++ {
+		id, err := ix.Insert(vec.RandomGaussian(rng, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != i {
+			t.Fatalf("insert %d assigned id %d", i, id)
+		}
+	}
+	if ix.Len() != 10 || ix.Slots() != 10 || ix.Tombstones() != 0 {
+		t.Fatalf("len=%d slots=%d tombstones=%d", ix.Len(), ix.Slots(), ix.Tombstones())
+	}
+}
+
+func TestInsertDimensionMismatch(t *testing.T) {
+	ix, _ := New(4, vec.L2Distance, Config{Seed: 1})
+	if _, err := ix.Insert(vec.Vector{1, 2}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestDeleteExcludesFromResults(t *testing.T) {
+	ix, _ := New(2, vec.L2Distance, Config{Seed: 2})
+	vs := []vec.Vector{{0, 0}, {1, 0}, {0, 1}, {5, 5}}
+	for _, v := range vs {
+		if _, err := ix.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 3 || ix.Tombstones() != 1 {
+		t.Fatalf("len=%d tombstones=%d after delete", ix.Len(), ix.Tombstones())
+	}
+	res, err := ix.Search(vec.Vector{1, 0}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.ID == 1 {
+			t.Fatal("tombstoned id 1 returned by Search")
+		}
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results, want 3 live", len(res))
+	}
+}
+
+func TestDeleteErrors(t *testing.T) {
+	ix, _ := New(2, vec.L2Distance, Config{Seed: 3})
+	if err := ix.Delete(0); err == nil {
+		t.Fatal("expected out-of-range error on empty index")
+	}
+	id, _ := ix.Insert(vec.Vector{1, 2})
+	if err := ix.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete(id); err == nil {
+		t.Fatal("expected double-delete error")
+	}
+	if err := ix.Delete(-1); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestDeleteAllThenSearchEmpty(t *testing.T) {
+	ix, _ := New(2, vec.L2Distance, Config{Seed: 4})
+	a, _ := ix.Insert(vec.Vector{0, 0})
+	b, _ := ix.Insert(vec.Vector{1, 1})
+	if err := ix.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete(b); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("len=%d after deleting all", ix.Len())
+	}
+	if _, err := ix.Search(vec.Vector{0, 0}, 1); err != vectordb.ErrEmptyIndex {
+		t.Fatalf("search on fully tombstoned index: %v, want ErrEmptyIndex", err)
+	}
+	// Re-inserting after total deletion must re-establish an entry point.
+	if _, err := ix.Insert(vec.Vector{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.Search(vec.Vector{2, 2}, 1)
+	if err != nil || len(res) != 1 {
+		t.Fatalf("search after revival: res=%v err=%v", res, err)
+	}
+}
+
+func TestDeleteEntryPointRepair(t *testing.T) {
+	ix, _ := New(3, vec.L2Distance, Config{M: 4, Seed: 5})
+	rng := vec.NewRand(9)
+	for i := 0; i < 200; i++ {
+		if _, err := ix.Insert(vec.RandomGaussian(rng, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Repeatedly kill the entry point; search must keep working and the
+	// new entry must always live on the top layer.
+	for i := 0; i < 20; i++ {
+		if err := ix.Delete(ix.entry); err != nil {
+			t.Fatal(err)
+		}
+		if ix.deleted[ix.entry] {
+			t.Fatal("re-elected entry point is tombstoned")
+		}
+		if ix.levels[ix.entry] != ix.maxLevel {
+			t.Fatalf("entry level %d != maxLevel %d", ix.levels[ix.entry], ix.maxLevel)
+		}
+		if _, err := ix.Search(vec.RandomGaussian(rng, 3), 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestChurnReusesSlots drives FIFO cache-style churn through the index
+// and checks tombstoned slots are reused so the graph stays bounded.
+func TestChurnReusesSlots(t *testing.T) {
+	const capacity = 100
+	ix, _ := New(4, vec.L2Distance, Config{M: 8, EfConstruction: 60, Seed: 6})
+	rng := vec.NewRand(11)
+	var fifo []int
+	keys := make(map[int]vec.Vector)
+	for i := 0; i < 1000; i++ {
+		if len(fifo) >= capacity {
+			victim := fifo[0]
+			fifo = fifo[1:]
+			if err := ix.Delete(victim); err != nil {
+				t.Fatal(err)
+			}
+			delete(keys, victim)
+		}
+		v := vec.RandomGaussian(rng, 4)
+		id, err := ix.Insert(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, taken := keys[id]; taken {
+			t.Fatalf("insert returned live id %d", id)
+		}
+		fifo = append(fifo, id)
+		keys[id] = v
+	}
+	if ix.Len() != capacity {
+		t.Fatalf("len=%d, want %d", ix.Len(), capacity)
+	}
+	// Slot reuse keeps the graph near capacity rather than growing with
+	// total insert count.
+	if ix.Slots() > capacity+1 {
+		t.Fatalf("slots=%d after churn, want ≤ %d", ix.Slots(), capacity+1)
+	}
+	// The live keys must still be findable (search for the exact vector).
+	found := 0
+	for id, v := range keys {
+		res, err := ix.SearchEf(v, 1, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) == 1 && res[0].ID == id {
+			found++
+		}
+	}
+	if frac := float64(found) / float64(len(keys)); frac < 0.95 {
+		t.Fatalf("post-churn self-recall %.2f, want ≥ 0.95", frac)
+	}
+}
+
+// TestQuantizedRecall checks the int8 traversal still finds the right
+// neighborhood: recall@1 against the exact flat scan stays high, since
+// quantized distances only rank candidates and the beam retains ef of
+// them.
+func TestQuantizedRecall(t *testing.T) {
+	const n, dim = 1500, 16
+	rng := vec.NewRand(13)
+	vectors := make([]vec.Vector, n)
+	for i := range vectors {
+		vectors[i] = vec.RandomGaussian(rng, dim)
+	}
+	ix, err := New(dim, vec.L2Distance, Config{M: 12, EfConstruction: 100, EfSearch: 64, Seed: 7, Quantized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Quantized() {
+		t.Fatal("Quantized() = false")
+	}
+	if err := ix.Add(vectors...); err != nil {
+		t.Fatal(err)
+	}
+	flat, err := vectordb.NewFlatFromVectors(vectors, vec.L2Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := 0
+	const queries = 200
+	for i := 0; i < queries; i++ {
+		q := vec.RandomGaussian(rng, dim)
+		want, err := flat.Search(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ix.Search(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 1 && got[0].ID == want[0].ID {
+			hit++
+		}
+	}
+	if recall := float64(hit) / queries; recall < 0.85 {
+		t.Fatalf("quantized recall@1 = %.3f, want ≥ 0.85", recall)
+	}
+	if ix.Hops() == 0 || ix.Searches() != queries {
+		t.Fatalf("hops=%d searches=%d", ix.Hops(), ix.Searches())
+	}
+}
+
+// TestSearchIntoReusesBuffer verifies the zero-alloc entry point appends
+// into the caller's buffer and matches SearchEf.
+func TestSearchIntoReusesBuffer(t *testing.T) {
+	ix, _ := New(8, vec.L2Distance, Config{Seed: 8})
+	rng := vec.NewRand(17)
+	for i := 0; i < 300; i++ {
+		if _, err := ix.Insert(vec.RandomGaussian(rng, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]vec.Scored, 0, 16)
+	for i := 0; i < 20; i++ {
+		q := vec.RandomGaussian(rng, 8)
+		want, err := ix.SearchEf(q, 5, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ix.SearchInto(buf[:0], q, 5, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("query %d item %d: %+v vs %+v", i, j, got[j], want[j])
+			}
+		}
+		if cap(buf) >= 5 && len(got) > 0 && &got[0] != &buf[:1][0] {
+			t.Fatal("SearchInto did not reuse the provided buffer")
+		}
+	}
+}
+
+func TestVectorAndDeletedAccessors(t *testing.T) {
+	ix, _ := New(2, vec.L2Distance, Config{Seed: 9})
+	id, _ := ix.Insert(vec.Vector{3, 4})
+	v, err := ix.Vector(id)
+	if err != nil || v[0] != 3 || v[1] != 4 {
+		t.Fatalf("Vector(%d) = %v, %v", id, v, err)
+	}
+	if _, err := ix.Vector(99); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if ix.Deleted(id) {
+		t.Fatal("fresh slot reported deleted")
+	}
+	if err := ix.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Deleted(id) {
+		t.Fatal("tombstoned slot not reported deleted")
+	}
+	if ix.Deleted(-1) || ix.Deleted(99) {
+		t.Fatal("out-of-range ids reported deleted")
+	}
+}

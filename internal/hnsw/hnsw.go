@@ -6,14 +6,27 @@
 // The index is a multi-layer proximity graph: each vector is assigned a
 // maximum layer drawn from a geometric distribution; search descends
 // greedily from the sparse top layers to layer 0, where a best-first beam
-// of width ef explores the dense base graph. Construction is sequential;
-// Search is safe for concurrent use once building is done.
+// of width ef explores the dense base graph.
+//
+// Beyond the static database role, the index tracks an EVICTING cache
+// (core.IndexedCache): Insert assigns ids incrementally, Delete tombstones
+// a node (its edges stay traversable so the graph never fragments, but it
+// is excluded from results), and tombstoned slots are reused by later
+// inserts — steady-state churn at a fixed capacity neither grows the
+// graph nor requires rebuilds. With Config.Quantized the traversal ranks
+// candidates by asymmetric int8 distances (vec.Quantized), streaming one
+// byte per dimension instead of four through the beam's inner loop.
+//
+// Insert and Delete must be externally serialized (the cache holds its
+// own lock); Search is safe for concurrent use between mutations.
 package hnsw
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"proximity/internal/vec"
 	"proximity/internal/vectordb"
@@ -31,6 +44,12 @@ type Config struct {
 	EfSearch int
 	// Seed drives the layer assignment.
 	Seed uint64
+	// Quantized stores an int8 scalar-quantized copy of every vector
+	// and ranks query-time traversal by the asymmetric quantized
+	// kernel. Construction-time link selection keeps full precision
+	// (the graph is built once, searched many times), and the exact
+	// float32 vectors remain available through Vector for re-ranking.
+	Quantized bool
 }
 
 func (c *Config) fillDefaults() {
@@ -66,11 +85,29 @@ type Index struct {
 	rng    interface{ Float64() float64 }
 	mult   float64 // level multiplier 1/ln(M)
 
-	vectors  []vec.Vector
-	levels   []int           // max layer per node
-	layers   []map[int][]int // layers[l][node] = neighbor ids
-	entry    int             // entry point node
+	vectors []vec.Vector
+	codes   []vec.Quantized // parallel to vectors; nil unless cfg.Quantized
+	levels  []int           // max layer per node
+	deleted []bool          // tombstones: traversable but never returned
+	free    []int           // tombstoned slots awaiting reuse
+	numDel  int
+
+	// Layer-0 adjacency is a dense slice (every node lives there; the
+	// beam spends almost all its time on it); upper layers are sparse
+	// maps (a 1/M^l fraction of nodes).
+	base  [][]int         // base[node] = neighbor ids
+	upper []map[int][]int // upper[l-1][node] = neighbor ids at layer l
+
+	entry    int // entry point node, -1 when no live node exists
 	maxLevel int
+
+	// searches/hops count query-time Search calls and their distance
+	// evaluations (greedy descent + beam). Atomic because Search is
+	// concurrent; construction work is excluded.
+	searches atomic.Int64
+	hops     atomic.Int64
+
+	scratch sync.Pool // *searchScratch
 }
 
 var (
@@ -101,18 +138,41 @@ func New(dim int, metric vec.Metric, cfg Config) (*Index, error) {
 // Dim returns the indexed dimensionality.
 func (ix *Index) Dim() int { return ix.dim }
 
-// Len returns the number of indexed vectors.
-func (ix *Index) Len() int { return len(ix.vectors) }
+// Len returns the number of live (non-tombstoned) vectors.
+func (ix *Index) Len() int { return len(ix.vectors) - ix.numDel }
+
+// Slots returns the total number of graph slots, live plus tombstoned.
+func (ix *Index) Slots() int { return len(ix.vectors) }
+
+// Tombstones returns the number of deleted-but-not-yet-reused slots.
+func (ix *Index) Tombstones() int { return ix.numDel }
 
 // Metric returns the distance metric.
 func (ix *Index) Metric() vec.Metric { return ix.metric }
 
-// Vector returns the stored vector for an ID.
+// Quantized reports whether traversal uses int8 quantized distances.
+func (ix *Index) Quantized() bool { return ix.cfg.Quantized }
+
+// Hops returns the cumulative distance evaluations performed by query
+// searches (greedy descent plus beam expansion) — the graph-traversal
+// analogue of a flat scan's DistComps.
+func (ix *Index) Hops() int64 { return ix.hops.Load() }
+
+// Searches returns the cumulative query search count.
+func (ix *Index) Searches() int64 { return ix.searches.Load() }
+
+// Vector returns the stored vector for an ID (tombstoned slots included:
+// the slot retains its last vector until reused).
 func (ix *Index) Vector(id int) (vec.Vector, error) {
 	if id < 0 || id >= len(ix.vectors) {
 		return nil, fmt.Errorf("hnsw: id %d out of range (have %d)", id, len(ix.vectors))
 	}
 	return ix.vectors[id], nil
+}
+
+// Deleted reports whether the slot is tombstoned.
+func (ix *Index) Deleted(id int) bool {
+	return id >= 0 && id < len(ix.deleted) && ix.deleted[id]
 }
 
 // Add inserts vectors sequentially. Not safe to call concurrently with
@@ -130,29 +190,132 @@ func (ix *Index) Add(vectors ...vec.Vector) error {
 	return nil
 }
 
+// Insert adds one vector and returns its assigned slot id — a tombstoned
+// slot when one is free, a fresh one otherwise. The id is stable until
+// Delete(id); callers tracking external state per entry (the indexed
+// cache) key it by this id. Not safe to call concurrently with Search.
+func (ix *Index) Insert(v vec.Vector) (int, error) {
+	if len(v) != ix.dim {
+		return 0, fmt.Errorf("hnsw: vector has dim %d, index dim %d: %w",
+			len(v), ix.dim, vec.ErrDimensionMismatch)
+	}
+	return ix.insert(v), nil
+}
+
+// Delete tombstones a slot: the node's edges remain traversable so paths
+// through it survive, but it is excluded from every result set, and the
+// slot is queued for reuse by a later Insert. Not safe to call
+// concurrently with Search.
+func (ix *Index) Delete(id int) error {
+	if id < 0 || id >= len(ix.vectors) {
+		return fmt.Errorf("hnsw: delete id %d out of range (have %d)", id, len(ix.vectors))
+	}
+	if ix.deleted[id] {
+		return fmt.Errorf("hnsw: id %d already deleted", id)
+	}
+	ix.deleted[id] = true
+	ix.numDel++
+	ix.free = append(ix.free, id)
+	if ix.Len() == 0 {
+		ix.entry = -1
+		ix.maxLevel = 0
+	} else if id == ix.entry {
+		ix.resetEntry()
+	}
+	return nil
+}
+
+// resetEntry re-elects the entry point after the current one was
+// tombstoned: the live node on the highest layer. O(n), but only paid
+// when the single entry node itself is deleted.
+func (ix *Index) resetEntry() {
+	best, bestLevel := -1, -1
+	for i := range ix.vectors {
+		if !ix.deleted[i] && ix.levels[i] > bestLevel {
+			best, bestLevel = i, ix.levels[i]
+		}
+	}
+	ix.entry = best
+	if best >= 0 {
+		ix.maxLevel = bestLevel
+	} else {
+		ix.maxLevel = 0
+	}
+}
+
 func (ix *Index) randomLevel() int {
 	return int(-math.Log(1-ix.rng.Float64()) * ix.mult)
 }
 
 func (ix *Index) neighbors(node, layer int) []int {
-	if layer >= len(ix.layers) {
+	if layer == 0 {
+		if node >= len(ix.base) {
+			return nil
+		}
+		return ix.base[node]
+	}
+	if layer-1 >= len(ix.upper) {
 		return nil
 	}
-	return ix.layers[layer][node]
+	return ix.upper[layer-1][node]
 }
 
 func (ix *Index) setNeighbors(node, layer int, ns []int) {
-	for len(ix.layers) <= layer {
-		ix.layers = append(ix.layers, make(map[int][]int))
+	if layer == 0 {
+		for len(ix.base) <= node {
+			ix.base = append(ix.base, nil)
+		}
+		ix.base[node] = ns
+		return
 	}
-	ix.layers[layer][node] = ns
+	for len(ix.upper) < layer {
+		ix.upper = append(ix.upper, make(map[int][]int))
+	}
+	ix.upper[layer-1][node] = ns
 }
 
-func (ix *Index) insert(v vec.Vector) {
+// clearNeighbors drops a slot's outgoing edges at every layer before the
+// slot is reused. Incoming edges from old neighbors are left in place:
+// they now lead to the slot's new vector, which is merely a different
+// (still valid) traversal hint, and churn keeps refreshing them.
+func (ix *Index) clearNeighbors(node int) {
+	if node < len(ix.base) {
+		ix.base[node] = nil
+	}
+	for l := range ix.upper {
+		delete(ix.upper[l], node)
+	}
+}
+
+// allocSlot claims a slot for v: a tombstoned one when available
+// (clearing its stale adjacency), a fresh append otherwise.
+func (ix *Index) allocSlot(v vec.Vector, level int) int {
+	if n := len(ix.free); n > 0 {
+		id := ix.free[n-1]
+		ix.free = ix.free[:n-1]
+		ix.clearNeighbors(id)
+		ix.vectors[id] = v
+		ix.levels[id] = level
+		ix.deleted[id] = false
+		ix.numDel--
+		if ix.cfg.Quantized {
+			ix.codes[id] = vec.Quantize(v)
+		}
+		return id
+	}
 	id := len(ix.vectors)
 	ix.vectors = append(ix.vectors, v)
-	level := ix.randomLevel()
 	ix.levels = append(ix.levels, level)
+	ix.deleted = append(ix.deleted, false)
+	if ix.cfg.Quantized {
+		ix.codes = append(ix.codes, vec.Quantize(v))
+	}
+	return id
+}
+
+func (ix *Index) insert(v vec.Vector) int {
+	level := ix.randomLevel()
+	id := ix.allocSlot(v, level)
 
 	if ix.entry < 0 {
 		for l := 0; l <= level; l++ {
@@ -160,17 +323,23 @@ func (ix *Index) insert(v vec.Vector) {
 		}
 		ix.entry = id
 		ix.maxLevel = level
-		return
+		return id
 	}
+
+	// Construction keeps full float32 precision regardless of the
+	// quantized setting: link quality is decided once and searched
+	// forever after.
+	ctx := searchCtx{ix: ix, q: v}
+	scr := ix.getScratch()
 
 	ep := ix.entry
 	// Greedy descent through layers above the node's level.
 	for l := ix.maxLevel; l > level; l-- {
-		ep = ix.greedyClosest(v, ep, l)
+		ep = ix.greedyClosest(&ctx, ep, l)
 	}
 	// Beam insert from min(level, maxLevel) down to 0.
 	for l := min(level, ix.maxLevel); l >= 0; l-- {
-		candidates := ix.searchLayer(v, ep, ix.cfg.EfConstruction, l)
+		candidates := ix.searchLayer(&ctx, scr, ep, ix.cfg.EfConstruction, l, nil)
 		m := ix.cfg.M
 		if l == 0 {
 			m = 2 * ix.cfg.M
@@ -189,6 +358,8 @@ func (ix *Index) insert(v vec.Vector) {
 		ix.maxLevel = level
 		ix.entry = id
 	}
+	ix.putScratch(scr)
+	return id
 }
 
 // linkBack adds id to node's neighbor list at the layer, pruning to the
@@ -206,14 +377,34 @@ func (ix *Index) linkBack(node, id, layer, mMax int) {
 	ix.setNeighbors(node, layer, ns)
 }
 
+// searchCtx carries one query through a traversal: the float32 query, the
+// prepared quantized form when the index ranks by int8 codes, and the
+// hop (distance evaluation) count.
+type searchCtx struct {
+	ix    *Index
+	q     vec.Vector
+	pq    vec.PreparedQuery
+	quant bool
+	hops  int64
+}
+
+func (c *searchCtx) distTo(id int) float32 {
+	c.hops++
+	if c.quant {
+		return c.pq.Dist(&c.ix.codes[id])
+	}
+	return c.ix.dist(c.q, c.ix.vectors[id])
+}
+
 // greedyClosest walks layer l from ep to the locally closest node to q.
-func (ix *Index) greedyClosest(q vec.Vector, ep, layer int) int {
+// Tombstoned nodes still serve as waypoints.
+func (ix *Index) greedyClosest(ctx *searchCtx, ep, layer int) int {
 	cur := ep
-	curDist := ix.dist(q, ix.vectors[cur])
+	curDist := ctx.distTo(cur)
 	for {
 		improved := false
 		for _, n := range ix.neighbors(cur, layer) {
-			if d := ix.dist(q, ix.vectors[n]); d < curDist {
+			if d := ctx.distTo(n); d < curDist {
 				cur, curDist = n, d
 				improved = true
 			}
@@ -224,42 +415,97 @@ func (ix *Index) greedyClosest(q vec.Vector, ep, layer int) int {
 	}
 }
 
+// searchScratch is the reusable per-search state: an epoch-stamped
+// visited set (reset is a counter bump, not a clear) and the two beam
+// heaps plus an output slice, all retaining their backing arrays across
+// searches so steady-state lookups allocate nothing.
+type searchScratch struct {
+	visited []uint32
+	epoch   uint32
+	cands   minHeap
+	results maxHeap
+	out     []vec.Scored
+}
+
+func (s *searchScratch) begin(n int) {
+	if len(s.visited) < n {
+		grown := make([]uint32, n)
+		copy(grown, s.visited)
+		s.visited = grown
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale stamps could collide, clear once
+		clear(s.visited)
+		s.epoch = 1
+	}
+	s.cands = s.cands[:0]
+	s.results = s.results[:0]
+	s.out = s.out[:0]
+}
+
+func (s *searchScratch) seen(id int) bool { return s.visited[id] == s.epoch }
+func (s *searchScratch) mark(id int)      { s.visited[id] = s.epoch }
+
+func (ix *Index) getScratch() *searchScratch {
+	if s, ok := ix.scratch.Get().(*searchScratch); ok {
+		return s
+	}
+	return &searchScratch{}
+}
+
+func (ix *Index) putScratch(s *searchScratch) { ix.scratch.Put(s) }
+
 // searchLayer is the best-first beam search of HNSW (Algorithm 2 of the
 // paper's HNSW reference): it maintains the ef closest found so far and
 // expands the closest unexplored candidate until no candidate can improve
-// the result set. Returns found nodes sorted ascending by distance.
-func (ix *Index) searchLayer(q vec.Vector, ep, ef, layer int) []vec.Scored {
-	visited := map[int]struct{}{ep: {}}
-	epDist := ix.dist(q, ix.vectors[ep])
+// the result set. Tombstoned nodes are expanded (the graph stays
+// connected through them) but never retained as results. Returns found
+// nodes sorted ascending by distance; the slice aliases scratch and is
+// valid until the scratch's next use.
+func (ix *Index) searchLayer(ctx *searchCtx, s *searchScratch, ep, ef, layer int, deleted []bool) []vec.Scored {
+	s.begin(len(ix.vectors))
+	s.mark(ep)
+	epDist := ctx.distTo(ep)
 
 	// candidates: min-heap by distance; results: max-heap capped at ef.
-	cands := &minHeap{{ID: ep, Dist: epDist}}
-	results := &maxHeap{{ID: ep, Dist: epDist}}
+	s.cands.push(vec.Scored{ID: ep, Dist: epDist})
+	if deleted == nil || !deleted[ep] {
+		s.results.push(vec.Scored{ID: ep, Dist: epDist})
+	}
 
-	for cands.Len() > 0 {
-		c := heap.Pop(cands).(vec.Scored)
-		worst := (*results)[0]
-		if c.Dist > worst.Dist && results.Len() >= ef {
+	for len(s.cands) > 0 {
+		c := s.cands.pop()
+		if len(s.results) >= ef && c.Dist > s.results[0].Dist {
 			break
 		}
 		for _, n := range ix.neighbors(c.ID, layer) {
-			if _, seen := visited[n]; seen {
+			if s.seen(n) {
 				continue
 			}
-			visited[n] = struct{}{}
-			d := ix.dist(q, ix.vectors[n])
-			if results.Len() < ef || d < (*results)[0].Dist {
-				heap.Push(cands, vec.Scored{ID: n, Dist: d})
-				heap.Push(results, vec.Scored{ID: n, Dist: d})
-				if results.Len() > ef {
-					heap.Pop(results)
+			s.mark(n)
+			d := ctx.distTo(n)
+			if len(s.results) < ef || d < s.results[0].Dist {
+				s.cands.push(vec.Scored{ID: n, Dist: d})
+				if deleted == nil || !deleted[n] {
+					s.results.push(vec.Scored{ID: n, Dist: d})
+					if len(s.results) > ef {
+						s.results.pop()
+					}
 				}
 			}
 		}
 	}
-	out := make([]vec.Scored, results.Len())
-	copy(out, *results)
-	return vec.TopK(out, len(out))
+	s.out = append(s.out, s.results...)
+	slices.SortFunc(s.out, func(a, b vec.Scored) int {
+		if a.Dist != b.Dist {
+			if a.Dist < b.Dist {
+				return -1
+			}
+			return 1
+		}
+		return a.ID - b.ID
+	})
+	return s.out
 }
 
 // Search returns the approximate k nearest neighbors using the default
@@ -270,10 +516,19 @@ func (ix *Index) Search(q vec.Vector, k int) ([]vec.Scored, error) {
 
 // SearchEf searches with an explicit beam width ef ≥ k for recall tuning.
 func (ix *Index) SearchEf(q vec.Vector, k, ef int) ([]vec.Scored, error) {
+	return ix.SearchInto(nil, q, k, ef)
+}
+
+// SearchInto is SearchEf appending results into dst (grown as needed) —
+// the allocation-free entry point for hot-path callers that own a result
+// buffer. With Config.Quantized the returned distances are asymmetric
+// int8 approximations intended for candidate ranking; re-rank with the
+// exact kernel before threshold comparisons.
+func (ix *Index) SearchInto(dst []vec.Scored, q vec.Vector, k, ef int) ([]vec.Scored, error) {
 	if k <= 0 {
 		return nil, vectordb.ErrBadK
 	}
-	if len(ix.vectors) == 0 {
+	if ix.Len() == 0 {
 		return nil, vectordb.ErrEmptyIndex
 	}
 	if len(q) != ix.dim {
@@ -283,40 +538,113 @@ func (ix *Index) SearchEf(q vec.Vector, k, ef int) ([]vec.Scored, error) {
 	if ef < k {
 		ef = k
 	}
+	ctx := searchCtx{ix: ix, q: q, quant: ix.cfg.Quantized}
+	if ctx.quant {
+		ctx.pq = ix.metric.Prepare(q)
+	}
+	scr := ix.getScratch()
+	var deleted []bool
+	if ix.numDel > 0 {
+		deleted = ix.deleted
+	}
 	ep := ix.entry
 	for l := ix.maxLevel; l > 0; l-- {
-		ep = ix.greedyClosest(q, ep, l)
+		ep = ix.greedyClosest(&ctx, ep, l)
 	}
-	found := ix.searchLayer(q, ep, ef, 0)
-	return vec.TopK(found, k), nil
+	found := ix.searchLayer(&ctx, scr, ep, ef, 0, deleted)
+	if len(found) > k {
+		found = found[:k]
+	}
+	dst = append(dst, found...)
+	ix.putScratch(scr)
+	ix.searches.Add(1)
+	ix.hops.Add(ctx.hops)
+	return dst, nil
 }
 
+// minHeap and maxHeap are binary heaps of scored nodes with typed
+// push/pop: container/heap routes every element through interface{},
+// which boxes a 16-byte vec.Scored onto the GC heap per push — hundreds
+// of allocations per beam search. The hand-rolled sifts keep the search
+// scratch genuinely allocation-free in steady state.
 type minHeap []vec.Scored
 
-func (h minHeap) Len() int            { return len(h) }
-func (h minHeap) Less(i, j int) bool  { return h[i].Dist < h[j].Dist }
-func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(vec.Scored)) }
-func (h *minHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *minHeap) push(x vec.Scored) {
+	*h = append(*h, x)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if s[p].Dist <= s[i].Dist {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *minHeap) pop() vec.Scored {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s[r].Dist < s[l].Dist {
+			m = r
+		}
+		if s[i].Dist <= s[m].Dist {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
 }
 
 type maxHeap []vec.Scored
 
-func (h maxHeap) Len() int            { return len(h) }
-func (h maxHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
-func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(vec.Scored)) }
-func (h *maxHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *maxHeap) push(x vec.Scored) {
+	*h = append(*h, x)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if s[p].Dist >= s[i].Dist {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *maxHeap) pop() vec.Scored {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s[r].Dist > s[l].Dist {
+			m = r
+		}
+		if s[i].Dist >= s[m].Dist {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
 }
 
 func min(a, b int) int {

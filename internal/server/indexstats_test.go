@@ -1,0 +1,97 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"proximity/internal/core"
+	"proximity/internal/embed"
+	"proximity/internal/vec"
+	"proximity/internal/vectordb"
+)
+
+// TestStatsIndexFields: serving from a graph-indexed cache surfaces the
+// index block through /v1/stats; a flat cache omits it.
+func TestStatsIndexFields(t *testing.T) {
+	const dim = 32
+	enc := embed.NewTokenHash(dim, 1)
+	db, err := vectordb.NewFlatIndex(dim, vec.L2Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := []string{
+		"aspirin heart attack prevention dosage",
+		"ibuprofen inflammation joint pain",
+		"melatonin sleep circadian rhythm",
+		"statin cholesterol cardiovascular risk",
+	}
+	for _, p := range texts {
+		if err := db.Add(enc.Embed(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache, err := core.NewIndexed(dim, core.IndexedOptions{
+		Capacity: 64, Tolerance: 1, Policy: core.LRU,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retr, err := core.NewCachedRetriever(cache, db, core.RetrieverOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Retriever: retr, Embedder: enc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	for _, p := range texts {
+		if _, err := client.Query(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Index == nil {
+		t.Fatal("indexed cache server omitted the index stats block")
+	}
+	if st.Index.Nodes != len(texts) {
+		t.Errorf("index nodes = %d, want %d", st.Index.Nodes, len(texts))
+	}
+	if st.Index.Slots < st.Index.Nodes {
+		t.Errorf("index slots = %d < nodes %d", st.Index.Slots, st.Index.Nodes)
+	}
+	// Four entries is far below the crossover, so lookups took the
+	// exact-scan path.
+	if st.Index.BruteScans == 0 {
+		t.Error("expected sub-crossover lookups to count as brute scans")
+	}
+
+	// A flat cache must omit the block.
+	flat, err := core.NewFlat(dim, core.Options{Capacity: 64, Tolerance: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retr2, err := core.NewCachedRetriever(flat, db, core.RetrieverOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := New(Config{Retriever: retr2, Embedder: enc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	st2, err := NewClient(ts2.URL).Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Index != nil {
+		t.Errorf("flat cache server emitted an index stats block: %+v", st2.Index)
+	}
+}

@@ -178,6 +178,22 @@ type StatsResponse struct {
 	// Rebalance holds adaptive-rebalancing counters, present only when
 	// a controller is configured.
 	Rebalance *RebalanceStats `json:"rebalance,omitempty"`
+
+	// Index holds graph-index counters (node/tombstone counts, traversal
+	// hops, exact re-ranks), present only when the cache is backed by a
+	// graph index (core.IndexedCache, possibly sharded).
+	Index *IndexStats `json:"index,omitempty"`
+}
+
+// IndexStats is the graph-index slice of the stats payload.
+type IndexStats struct {
+	Nodes      int   `json:"nodes"`
+	Slots      int   `json:"slots"`
+	Tombstones int   `json:"tombstones"`
+	GraphHops  int64 `json:"graphHops"`
+	Reranks    int64 `json:"reranks"`
+	BruteScans int64 `json:"bruteScans"`
+	Searches   int64 `json:"searches"`
 }
 
 // RebalanceStats is the adaptive-rebalancing slice of the stats payload.
@@ -436,6 +452,22 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Entries:   entries,
 		Capacity:  capacity,
 		Evictions: st.Evictions,
+	}
+	// A sharded flat/LSH cache also satisfies core.IndexStatser (its
+	// aggregation just finds no indexed sub-caches), so gate the block
+	// on the stats being non-zero rather than on the type alone.
+	if is, ok := cache.(core.IndexStatser); ok {
+		if st := is.IndexStats(); st != (core.IndexStats{}) {
+			resp.Index = &IndexStats{
+				Nodes:      st.Nodes,
+				Slots:      st.Slots,
+				Tombstones: st.Tombstones,
+				GraphHops:  st.GraphHops,
+				Reranks:    st.Reranks,
+				BruteScans: st.BruteScans,
+				Searches:   st.Searches,
+			}
+		}
 	}
 	if pr, ok := cache.(pressureReporter); ok {
 		rep := pr.Report()

@@ -250,6 +250,33 @@ func NewFlat(dim, shards int, opts core.Options, seed uint64) (*ShardedCache, er
 	})
 }
 
+// NewIndexed creates a ShardedCache of graph-indexed sub-caches
+// (core.IndexedCache). Like NewFlat, the configured capacity is the TOTAL
+// across shards (split evenly, rounded up). Each shard's graph draws its
+// own layer-assignment seed (seed + 1 + shard index); the partitioner
+// uses seed directly. Sub-caches implement core.EntrySource, so Reseed
+// migration works unchanged.
+func NewIndexed(dim, shards int, opts core.IndexedOptions, seed uint64) (*ShardedCache, error) {
+	n := shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	per := opts.Capacity / n
+	if opts.Capacity%n != 0 {
+		per++
+	}
+	return New(dim, Options{
+		Shards: n,
+		Seed:   seed,
+		New: func(i int) (core.Cache, error) {
+			sub := opts
+			sub.Capacity = per
+			sub.Seed = seed + 1 + uint64(i)
+			return core.NewIndexed(dim, sub)
+		},
+	})
+}
+
 // NewLSH creates a ShardedCache of LSH sub-caches. Each shard keeps the
 // full bucket geometry (2^Bits buckets of BucketCapacity) — buckets are
 // lazily allocated, so actual memory still tracks usage. Shard sub-caches
@@ -456,6 +483,22 @@ func (c *ShardedCache) Stats() core.Stats {
 	}
 	if c.part == LSHSignature {
 		agg.HashOps += (agg.Hits + agg.Misses + agg.Puts) * int64(c.bits)
+	}
+	return agg
+}
+
+// IndexStats aggregates graph-index counters across shards. Shards whose
+// sub-caches are not graph-indexed contribute nothing, so a sharded flat
+// or LSH cache reports the zero value. Implements core.IndexStatser.
+func (c *ShardedCache) IndexStats() core.IndexStats {
+	var agg core.IndexStats
+	for i := range c.slots {
+		s := &c.slots[i]
+		s.mu.RLock()
+		if is, ok := s.cache.(core.IndexStatser); ok {
+			agg.Merge(is.IndexStats())
+		}
+		s.mu.RUnlock()
 	}
 	return agg
 }

@@ -47,29 +47,17 @@ func TopK(items []Scored, k int) []Scored {
 
 // TopKByDistance scores every candidate vector against the query with the
 // given distance function and returns the k closest. IDs are the candidate
-// indices. This is the brute-force NNS kernel used by the flat index.
+// indices. This is the brute-force NNS kernel used by the flat index;
+// hot-path callers that issue many queries should reuse a TopKBuffer
+// instead (see FlatIndex.Search), which this function wraps.
 func TopKByDistance(query Vector, candidates []Vector, k int, dist DistanceFunc) []Scored {
 	if k <= 0 || len(candidates) == 0 {
 		return nil
 	}
-	if k > len(candidates) {
-		k = len(candidates)
-	}
-	h := make(maxHeap, 0, k)
-	for i, c := range candidates {
-		d := dist(query, c)
-		if len(h) < k {
-			heap.Push(&h, Scored{ID: i, Dist: d})
-			continue
-		}
-		if d < h[0].Dist || (d == h[0].Dist && i < h[0].ID) {
-			h[0] = Scored{ID: i, Dist: d}
-			heap.Fix(&h, 0)
-		}
-	}
-	out := []Scored(h)
-	sortScored(out)
-	return out
+	var b TopKBuffer
+	b.Reset(k)
+	b.PushDistances(query, candidates, dist)
+	return b.Result()
 }
 
 // less orders scored items ascending by distance then ID.
@@ -100,48 +88,91 @@ func (h *maxHeap) Pop() interface{} {
 	return x
 }
 
-// TopKAcc incrementally selects the k closest items from a stream of
+// TopKBuffer incrementally selects the k closest items from a stream of
 // (id, dist) pairs, with the same (distance, ID) tie-breaking as TopK.
-// Batched index scans use one accumulator per query so a single pass over
-// the stored vectors can feed every query in the batch; because the
-// ordering is a total order, the result is independent of push order and
-// therefore exactly matches the per-query TopK selection.
-type TopKAcc struct {
+// Because the ordering is a total order, the result is independent of
+// push order and therefore exactly matches the one-shot TopK selection.
+//
+// Unlike TopK/TopKByDistance, which build a fresh heap per call, a
+// TopKBuffer is reusable scratch: Reset rewinds it for the next query
+// while keeping the backing array, so a pooled buffer makes repeated
+// top-k selection allocation-free except for the returned result slice
+// (and even that is avoidable via AppendResult). The flat index, the IVF
+// batched scan, and the indexed cache's re-rank all select through this
+// type.
+type TopKBuffer struct {
 	h maxHeap
 	k int
 }
 
+// TopKAcc is the streaming accumulator the batched scans were built on;
+// it is the same type as TopKBuffer and remains as the per-batch
+// (non-reused) spelling.
+type TopKAcc = TopKBuffer
+
 // NewTopKAcc creates an accumulator retaining the k closest pushes.
 func NewTopKAcc(k int) *TopKAcc {
+	b := &TopKBuffer{}
+	b.Reset(k)
+	return b
+}
+
+// Reset discards any retained items and re-arms the buffer to keep the k
+// closest subsequent pushes. The backing array is kept, so steady-state
+// reuse allocates nothing once the buffer has grown to its working size.
+func (b *TopKBuffer) Reset(k int) {
 	if k < 0 {
 		k = 0
 	}
-	return &TopKAcc{h: make(maxHeap, 0, k), k: k}
+	if cap(b.h) < k {
+		b.h = make(maxHeap, 0, k)
+	} else {
+		b.h = b.h[:0]
+	}
+	b.k = k
 }
 
-// Push offers one scored item to the accumulator.
-func (a *TopKAcc) Push(id int, dist float32) {
-	if a.k == 0 {
+// Push offers one scored item to the buffer.
+func (b *TopKBuffer) Push(id int, dist float32) {
+	if b.k == 0 {
 		return
 	}
 	it := Scored{ID: id, Dist: dist}
-	if len(a.h) < a.k {
-		heap.Push(&a.h, it)
+	if len(b.h) < b.k {
+		heap.Push(&b.h, it)
 		return
 	}
-	if less(it, a.h[0]) {
-		a.h[0] = it
-		heap.Fix(&a.h, 0)
+	if less(it, b.h[0]) {
+		b.h[0] = it
+		heap.Fix(&b.h, 0)
 	}
 }
 
+// PushDistances scores every candidate against the query and pushes it
+// under its index as ID — the flat-scan inner loop.
+func (b *TopKBuffer) PushDistances(query Vector, candidates []Vector, dist DistanceFunc) {
+	for i, c := range candidates {
+		b.Push(i, dist(query, c))
+	}
+}
+
+// Len returns the number of retained items (≤ k).
+func (b *TopKBuffer) Len() int { return len(b.h) }
+
 // Result returns the retained items sorted ascending by (distance, ID).
-// The accumulator may be reused afterwards; the returned slice is fresh.
-func (a *TopKAcc) Result() []Scored {
-	out := make([]Scored, len(a.h))
-	copy(out, a.h)
-	sortScored(out)
-	return out
+// The buffer may be reused afterwards; the returned slice is fresh.
+func (b *TopKBuffer) Result() []Scored {
+	return b.AppendResult(nil)
+}
+
+// AppendResult appends the retained items, sorted ascending by
+// (distance, ID), to dst and returns the extended slice — the
+// allocation-free variant of Result for callers that own a scratch slice.
+func (b *TopKBuffer) AppendResult(dst []Scored) []Scored {
+	start := len(dst)
+	dst = append(dst, b.h...)
+	sortScored(dst[start:])
+	return dst
 }
 
 // IDs projects the ID column of a scored slice.

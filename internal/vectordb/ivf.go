@@ -3,6 +3,7 @@ package vectordb
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"proximity/internal/vec"
 )
@@ -23,6 +24,7 @@ type IVFIndex struct {
 	centroid []vec.Vector
 	lists    [][]int // centroid -> vector IDs
 	vectors  []vec.Vector
+	topk     sync.Pool // *vec.TopKBuffer, reused across Search calls
 }
 
 var (
@@ -122,13 +124,19 @@ func (ix *IVFIndex) SearchProbe(q vec.Vector, k, nprobe int) ([]vec.Scored, erro
 		return nil, fmt.Errorf("vectordb: ivf query dim %d, index dim %d: %w",
 			len(q), ix.dim, vec.ErrDimensionMismatch)
 	}
-	var candidates []vec.Scored
+	b, ok := ix.topk.Get().(*vec.TopKBuffer)
+	if !ok {
+		b = &vec.TopKBuffer{}
+	}
+	b.Reset(k)
 	for _, c := range ix.probeSet(q, nprobe) {
 		for _, id := range ix.lists[c] {
-			candidates = append(candidates, vec.Scored{ID: id, Dist: ix.dist(q, ix.vectors[id])})
+			b.Push(id, ix.dist(q, ix.vectors[id]))
 		}
 	}
-	return vec.TopK(candidates, k), nil
+	out := b.Result()
+	ix.topk.Put(b)
+	return out, nil
 }
 
 // probeSet ranks the coarse centroids by distance to q and returns the

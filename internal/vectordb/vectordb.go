@@ -9,6 +9,7 @@ package vectordb
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"proximity/internal/vec"
 )
@@ -62,6 +63,7 @@ type FlatIndex struct {
 	dim     int
 	metric  vec.Metric
 	dist    vec.DistanceFunc
+	topk    sync.Pool // *vec.TopKBuffer, reused across Search calls
 }
 
 var (
@@ -121,7 +123,15 @@ func (f *FlatIndex) Search(q vec.Vector, k int) ([]vec.Scored, error) {
 		return nil, fmt.Errorf("vectordb: query dim %d, index dim %d: %w",
 			len(q), f.dim, vec.ErrDimensionMismatch)
 	}
-	return vec.TopKByDistance(q, f.vectors, k, f.dist), nil
+	b, ok := f.topk.Get().(*vec.TopKBuffer)
+	if !ok {
+		b = &vec.TopKBuffer{}
+	}
+	b.Reset(k)
+	b.PushDistances(q, f.vectors, f.dist)
+	out := b.Result()
+	f.topk.Put(b)
+	return out, nil
 }
 
 // Dim returns the indexed dimensionality.

@@ -129,6 +129,39 @@
 // -rebalance-threshold` (plus the /v1/rebalance admin endpoint) for the
 // deployment shape, and `proximity-bench -experiment rebalance` for the
 // static-vs-adaptive A/B on a skewed workload.
+//
+// # Graph-indexed cache lookup
+//
+// The cache's own similarity search is itself a nearest-neighbor
+// problem, and at large capacities the flat scan becomes the hot path's
+// hot path. NewIndexedCache routes lookups through an HNSW graph over
+// the cached keys — int8 scalar-quantized traversal to rank candidates,
+// exact float32 re-ranking to decide τ admission, so hits and misses
+// match the flat scan's semantics while lookup cost grows ~log(c)
+// instead of linearly:
+//
+//	cache, _ := proximity.NewIndexedCache(768, proximity.IndexedOptions{
+//		Capacity: 1_000_000, Tolerance: 5, Policy: proximity.LRU,
+//	})
+//	retriever, _ := proximity.NewRetriever(cache, db, proximity.RetrieverOptions{K: 4})
+//
+// Choosing a cache variant:
+//
+//   - FLAT: exact and allocation-light; the right default below a few
+//     thousand entries, where a scan beats every index's fixed
+//     overhead (the indexed cache itself falls back to a scan below
+//     IndexedOptions.Crossover, default 128).
+//   - LSH: constant-time lookups at any capacity, but hit quality
+//     depends on bucket geometry — near-τ pairs can land in different
+//     buckets, and fixed-capacity buckets evict under skew.
+//   - INDEXED: sublinear lookups with near-flat hit quality (recall is
+//     tunable via IndexedOptions.EfSearch); graph maintenance makes
+//     Puts ~10-50x costlier than FLAT's, so it fits read-heavy caches
+//     of 10k+ entries — the regime the paper's middleware serves.
+//     NewShardedIndexedCache composes it with sharding for concurrency.
+//
+// `proximity-bench -experiment annindex` measures the three variants
+// head-to-head and writes the comparison to a BENCH_*.json file.
 package proximity
 
 import (
@@ -166,6 +199,13 @@ type (
 	Policy = core.Policy
 	// Stats are cumulative cache counters.
 	Stats = core.Stats
+	// IndexedCache is the graph-indexed cache variant (HNSW lookup,
+	// quantized traversal, exact re-rank).
+	IndexedCache = core.IndexedCache
+	// IndexedOptions configures an IndexedCache.
+	IndexedOptions = core.IndexedOptions
+	// IndexStats describe the graph behind an indexed cache.
+	IndexStats = core.IndexStats
 	// Retriever is the cache-in-front-of-database retrieval path.
 	Retriever = core.CachedRetriever
 	// RetrieverOptions configures a Retriever.
@@ -320,6 +360,23 @@ func NewFlatCache(dim int, opts Options) (*core.FlatCache, error) {
 // constant-time lookups).
 func NewLSHCache(dim int, opts LSHOptions) (*core.LSHCache, error) {
 	return core.NewLSH(dim, opts)
+}
+
+// NewIndexedCache creates a Proximity-INDEXED cache: lookups served by
+// an HNSW graph over the cached keys with int8-quantized traversal and
+// exact re-ranking, falling back to a linear scan below the crossover
+// size. Admission semantics match the FLAT cache; see the package doc
+// for variant guidance.
+func NewIndexedCache(dim int, opts IndexedOptions) (*IndexedCache, error) {
+	return core.NewIndexed(dim, opts)
+}
+
+// NewShardedIndexedCache partitions an INDEXED cache across `shards`
+// independently-locked sub-caches (0 = one per CPU). The configured
+// capacity is the total across shards; seed fixes the shard routing and
+// derives each shard's graph seed.
+func NewShardedIndexedCache(dim, shards int, opts IndexedOptions, seed uint64) (*ShardedCache, error) {
+	return shard.NewIndexed(dim, shards, opts, seed)
 }
 
 // NewRetriever wires a cache in front of a vector database. cache may be
