@@ -9,11 +9,13 @@
 //	    [-rebalance-threshold T]
 //	proximity-bench -experiment annindex [-entries N,M] [-ann-queries Q]
 //	    [-ann-ef E1,E2] [-bench-out PATH]
+//	proximity-bench -experiment overhead [-overhead-iters N]
+//	    [-overhead-rounds R] [-bench-out PATH]
 //
 // where LIST is a comma-separated subset of
 // fig2,fig3,fig6-mmlu,fig6-medrag,fig7,fig8,fig9,fig10,fig11,fig12,opcount,
-// loadtest,rebalance,annindex or "all" (default: every figure; loadtest,
-// rebalance, and annindex run only when named).
+// loadtest,rebalance,annindex,overhead or "all" (default: every figure;
+// loadtest, rebalance, annindex, and overhead run only when named).
 // Results print to stdout; redirect to a file to keep them. The -quick
 // flag switches to the CI-sized configuration.
 //
@@ -38,11 +40,17 @@
 // entry counts given by -entries, replaying an identical query stream
 // against identically filled caches. It prints the comparison and writes
 // the machine-readable result to -bench-out (default BENCH_annindex.json).
+//
+// The overhead experiment measures the telemetry layer's cost on the
+// cached-hit path three ways — no hub, hub with sampling off (the
+// production default, promised ≲1%), and every request traced — and
+// writes the result to -bench-out (default BENCH_telemetry.json).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -102,14 +110,16 @@ func run(args []string) error {
 		entries      = fs.String("entries", "", "annindex: comma-separated resident-entry counts (default 100000)")
 		annQueries   = fs.Int("ann-queries", 0, "annindex: lookups per variant (0 = default)")
 		annEf        = fs.String("ann-ef", "", "annindex: comma-separated beam widths to sweep (default 64,128,256)")
-		benchOut     = fs.String("bench-out", "BENCH_annindex.json", "annindex: output path for the JSON result")
+		benchOut     = fs.String("bench-out", "", "output path for the machine-readable JSON result (annindex defaults to BENCH_annindex.json, overhead to BENCH_telemetry.json; loadtest writes only when set)")
+		ovIters      = fs.Int("overhead-iters", 0, "overhead: cached-hit retrievals per timed round (0 = default)")
+		ovRounds     = fs.Int("overhead-rounds", 0, "overhead: timed rounds per configuration (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	available := append([]figure{}, figures...)
 	available = append(available, figure{"loadtest", func(s *experiments.Suite) (renderer, error) {
-		return s.LoadTest(experiments.LoadTestOptions{
+		res, err := s.LoadTest(experiments.LoadTestOptions{
 			Shards:       *shards,
 			Concurrency:  *concurrency,
 			QPS:          *qps,
@@ -118,6 +128,34 @@ func run(args []string) error {
 			MaxBatch:     *batchSize,
 			BatchTimeout: *batchTimeout,
 		})
+		if err != nil {
+			return nil, err
+		}
+		if *benchOut != "" {
+			if err := writeBenchJSON(*benchOut, res); err != nil {
+				return nil, err
+			}
+			fmt.Printf("wrote %s\n", *benchOut)
+		}
+		return res, nil
+	}})
+	available = append(available, figure{"overhead", func(s *experiments.Suite) (renderer, error) {
+		res, err := experiments.TelemetryOverhead(experiments.TelemetryOverheadOptions{
+			Iters:  *ovIters,
+			Rounds: *ovRounds,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_telemetry.json"
+		}
+		if err := writeBenchJSON(out, res); err != nil {
+			return nil, err
+		}
+		fmt.Printf("wrote %s\n", out)
+		return res, nil
 	}})
 	available = append(available, figure{"rebalance", func(s *experiments.Suite) (renderer, error) {
 		return s.RebalanceAB(experiments.RebalanceABOptions{
@@ -146,10 +184,14 @@ func run(args []string) error {
 		if err != nil {
 			return nil, err
 		}
-		if err := writeBenchJSON(*benchOut, res); err != nil {
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_annindex.json"
+		}
+		if err := writeBenchJSON(out, res); err != nil {
 			return nil, err
 		}
-		fmt.Printf("wrote %s\n", *benchOut)
+		fmt.Printf("wrote %s\n", out)
 		return res, nil
 	}})
 	if *list {
@@ -211,8 +253,8 @@ func parseEntryCounts(s string) ([]int, error) {
 	return out, nil
 }
 
-// writeBenchJSON persists the annindex result as a BENCH_*.json artifact.
-func writeBenchJSON(path string, res *experiments.ANNIndexResult) error {
+// writeBenchJSON persists an experiment result as a BENCH_*.json artifact.
+func writeBenchJSON(path string, res interface{ WriteJSON(io.Writer) error }) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -9,13 +9,30 @@
 //	                 [-capacity 200] [-bits 8] [-policy lru|fifo]
 //	                 [-topics 20] [-docs-per-topic 20] [-dim 768]
 //	                 [-shards N] [-rebalance-threshold T]
+//	                 [-trace-sample N] [-pprof] [-log-level info]
 //	proximity-server -node [-addr :8081] ...
 //	proximity-server -peers http://h1:8081,http://h2:8081 [-replicas 2]
 //	                 [-rebalance-threshold T]
 //
 // Endpoints: POST /v1/query {"text": ...}, POST /v1/retrieve
 // {"embedding": [...]}, POST /v1/retrieve/batch {"embeddings": [[...]]},
-// GET /v1/stats, POST /v1/flush, POST /v1/rebalance, GET /healthz.
+// GET /v1/stats, POST /v1/flush, POST /v1/rebalance, GET /healthz,
+// GET /v1/healthz (build info), GET /metrics (Prometheus text),
+// GET /v1/traces (recent sampled traces), and — with -pprof —
+// /debug/pprof/.
+//
+// # Observability
+//
+// -trace-sample N samples 1 in N requests into a per-stage trace (cache
+// lookup, batch queue, database search, node RPC); sampled traces are
+// buffered and served at /v1/traces. In router mode the trace crosses the
+// wire: the router sends its trace ID in the X-Proximity-Trace request
+// header, the owning node records its stages under that ID, and the spans
+// return in the X-Proximity-Trace-Spans response header to be stitched
+// into one timeline. Per-stage latency histograms, cache/batch/ring
+// counters, and runtime gauges are always exported at /metrics;
+// -log-level gates the structured request/routing logs; -pprof opts the
+// process into the net/http/pprof handlers.
 //
 // # Adaptive rebalancing
 //
@@ -44,6 +61,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -53,6 +71,7 @@ import (
 	"proximity/internal/rebalance"
 	"proximity/internal/server"
 	"proximity/internal/shard"
+	"proximity/internal/telemetry"
 	"proximity/internal/vec"
 	"proximity/internal/vectordb"
 )
@@ -87,10 +106,20 @@ func run(args []string) error {
 		shards    = fs.Int("shards", 0, "partition the cache across N independently-locked shards (0 = unsharded)")
 		rebThresh = fs.Float64("rebalance-threshold", 0,
 			"adaptive rebalancing: act when imbalance stays above this (> 1; 0 = off; needs -shards or -peers)")
+		traceSample = fs.Int("trace-sample", 0, "sample 1 in N requests into a per-stage trace served at /v1/traces (0 = off)")
+		traceRing   = fs.Int("trace-ring", 0, "sampled traces kept for /v1/traces (0 = default 64)")
+		pprofOn     = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		logLevel    = fs.String("log-level", "info", "structured-log threshold: debug, info, warn, or error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	tel := telemetry.New(telemetry.Options{SampleEvery: *traceSample, RingSize: *traceRing})
 	if *nodeMode && *peers != "" {
 		return fmt.Errorf("-node and -peers are mutually exclusive: a process is a shard node or the router, not both")
 	}
@@ -139,8 +168,10 @@ func run(args []string) error {
 			bases[i] = strings.TrimSpace(bases[i])
 		}
 		copts := cluster.Options{
-			Seed:     *seed,
-			Replicas: *replicas,
+			Seed:      *seed,
+			Replicas:  *replicas,
+			Telemetry: tel,
+			Logger:    logger,
 		}
 		if *rebThresh > 0 {
 			copts.Rebalance = &rebalance.Options{Threshold: *rebThresh}
@@ -211,18 +242,22 @@ func run(args []string) error {
 	}
 
 	retr, err := core.NewCachedRetriever(cache, db, core.RetrieverOptions{
-		K:      *k,
-		Rerank: *rerank,
-		Source: db,
+		K:         *k,
+		Rerank:    *rerank,
+		Source:    db,
+		Telemetry: tel,
 	})
 	if err != nil {
 		return err
 	}
 	srv, err := server.New(server.Config{
-		Retriever:  retr,
-		Embedder:   bench.Embedder(),
-		Docs:       corpusDocs{bench},
-		Rebalancer: rebalancer,
+		Retriever:   retr,
+		Embedder:    bench.Embedder(),
+		Docs:        corpusDocs{bench},
+		Rebalancer:  rebalancer,
+		Telemetry:   tel,
+		EnablePprof: *pprofOn,
+		Logger:      logger,
 	})
 	if err != nil {
 		return err
@@ -245,6 +280,22 @@ func run(args []string) error {
 		log.Printf("proximity %s serving %d passages on %s (cache=%s τ=%v%s)",
 			role, db.Len(), bound, *cacheKind, *tau, extra)
 	})
+}
+
+// parseLogLevel maps the -log-level flag onto slog levels.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+	}
 }
 
 // startShardController wires and starts the adaptive re-draw loop over

@@ -1,11 +1,14 @@
 package batch
 
 import (
+	"context"
 	"errors"
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"proximity/internal/telemetry"
 	"proximity/internal/vec"
 )
 
@@ -78,6 +81,7 @@ type Coalescer struct {
 	key    atomic.Pointer[keyState] // swapped whole by SetKey; read lock-free
 	genCtr atomic.Uint32            // mints a unique generation per SetKey
 	verify bool                     // require embedding equality, not just key equality
+	tel    *telemetry.Telemetry     // optional: coalesce_wait stage observations
 
 	mu       sync.Mutex
 	inflight map[flightKey]*flight
@@ -117,8 +121,23 @@ func newCoalescer(inner Searcher, key KeyFunc, verify bool) (*Coalescer, error) 
 	return c, nil
 }
 
+// SetTelemetry attaches a telemetry hub: follower waits are then
+// observed under the coalesce_wait stage. Call before serving traffic.
+func (c *Coalescer) SetTelemetry(tel *telemetry.Telemetry) { c.tel = tel }
+
 // Search performs (or joins) the deduplicated search for q.
 func (c *Coalescer) Search(q vec.Vector, k int) ([]vec.Scored, error) {
+	return c.search(nil, q, k)
+}
+
+// SearchContext is Search carrying a sampled trace: followers record a
+// coalesce_wait span around the flight wait, leaders (and collision
+// bypasses) a db_search span around the inner search.
+func (c *Coalescer) SearchContext(ctx context.Context, q vec.Vector, k int) ([]vec.Scored, error) {
+	return c.search(telemetry.FromContext(ctx), q, k)
+}
+
+func (c *Coalescer) search(trace *telemetry.Trace, q vec.Vector, k int) ([]vec.Scored, error) {
 	ks := c.key.Load()
 	key := flightKey{gen: ks.gen, key: ks.fn(q), k: k}
 
@@ -129,11 +148,23 @@ func (c *Coalescer) Search(q vec.Vector, k int) ([]vec.Scored, error) {
 			// independently, bypassing the flight.
 			c.stats.Collisions++
 			c.mu.Unlock()
-			return c.inner.Search(q, k)
+			finish := trace.StartSpan(telemetry.StageDBSearch)
+			res, err := c.inner.Search(q, k)
+			finish(err)
+			return res, err
 		}
 		c.stats.Coalesced++
 		c.mu.Unlock()
+		finish := trace.StartSpan(telemetry.StageCoalesceWait)
+		var waitStart time.Time
+		if c.tel != nil {
+			waitStart = time.Now()
+		}
 		<-f.done
+		if c.tel != nil {
+			c.tel.ObserveStage(telemetry.StageCoalesceWait, time.Since(waitStart))
+		}
+		finish(f.err)
 		if f.err != nil {
 			return nil, f.err
 		}
@@ -148,7 +179,9 @@ func (c *Coalescer) Search(q vec.Vector, k int) ([]vec.Scored, error) {
 	c.stats.Leads++
 	c.mu.Unlock()
 
+	finish := trace.StartSpan(telemetry.StageDBSearch)
 	f.res, f.err = c.inner.Search(q, k)
+	finish(f.err)
 
 	c.mu.Lock()
 	delete(c.inflight, key)

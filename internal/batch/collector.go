@@ -39,10 +39,12 @@ type Collector[Req, Res any] struct {
 	stats   QueueStats
 }
 
-// collectorWaiter is one pending Do call.
+// collectorWaiter is one pending Do call. at is stamped only when the
+// collector has an OnDwell observer; otherwise no clocks are read.
 type collectorWaiter[Req, Res any] struct {
 	req Req
 	ch  chan Outcome[Res]
+	at  time.Time
 }
 
 // NewCollector creates a collector that serves gathered batches through
@@ -59,6 +61,10 @@ func NewCollector[Req, Res any](flush FlushFunc[Req, Res], opts QueueOptions) (*
 // returning this request's share of the batch outcome.
 func (c *Collector[Req, Res]) Do(req Req) (Res, error) {
 	ch := make(chan Outcome[Res], 1)
+	w := collectorWaiter[Req, Res]{req: req, ch: ch}
+	if c.opts.OnDwell != nil {
+		w.at = time.Now()
+	}
 
 	c.mu.Lock()
 	if c.closed {
@@ -66,7 +72,7 @@ func (c *Collector[Req, Res]) Do(req Req) (Res, error) {
 		var zero Res
 		return zero, ErrClosed
 	}
-	c.pending = append(c.pending, collectorWaiter[Req, Res]{req: req, ch: ch})
+	c.pending = append(c.pending, w)
 	c.stats.Enqueued++
 	switch {
 	case len(c.pending) >= c.opts.MaxBatch:
@@ -178,6 +184,12 @@ func (c *Collector[Req, Res]) awaitTimer(gen uint64, timer <-chan time.Time) {
 // flush hands one gathered batch to the FlushFunc and fans each outcome
 // out to its waiter, counting errors.
 func (c *Collector[Req, Res]) flush(ws []collectorWaiter[Req, Res]) {
+	if c.opts.OnDwell != nil {
+		now := time.Now()
+		for _, w := range ws {
+			c.opts.OnDwell(now.Sub(w.at))
+		}
+	}
 	reqs := make([]Req, len(ws))
 	for i, w := range ws {
 		reqs[i] = w.req

@@ -1,12 +1,14 @@
 package batch
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
 
 	"proximity/internal/lsh"
 	"proximity/internal/shard"
+	"proximity/internal/telemetry"
 	"proximity/internal/vec"
 	"proximity/internal/vectordb"
 )
@@ -63,6 +65,12 @@ type Options struct {
 	Seed uint64
 	// Clock supplies the queue flush timers. Defaults to SystemClock.
 	Clock Clock
+	// Telemetry, when non-nil, receives per-stage observations from the
+	// pipeline: coalesce_wait (follower flight waits), batch_queue
+	// (enqueue-to-flush dwell), and db_search (backend SearchBatch
+	// latency). Nil disables all timestamping beyond what the queues
+	// already do.
+	Telemetry *telemetry.Telemetry
 }
 
 // Stats aggregates pipeline counters across the coalescer and all queues.
@@ -135,11 +143,18 @@ func New(db vectordb.DB, opts Options) (*Pipeline, error) {
 	}
 	p := &Pipeline{db: db, opts: opts}
 	p.queues = make([]*Queue, opts.Queues)
+	var onDwell func(time.Duration)
+	if opts.Telemetry != nil {
+		tel := opts.Telemetry
+		onDwell = func(d time.Duration) { tel.ObserveStage(telemetry.StageBatchQueue, d) }
+	}
 	for i := range p.queues {
 		q, err := NewQueue(db, QueueOptions{
-			MaxBatch: opts.MaxBatch,
-			Timeout:  opts.Timeout,
-			Clock:    opts.Clock,
+			MaxBatch:  opts.MaxBatch,
+			Timeout:   opts.Timeout,
+			Clock:     opts.Clock,
+			OnDwell:   onDwell,
+			Telemetry: opts.Telemetry,
 		})
 		if err != nil {
 			return nil, err
@@ -184,6 +199,7 @@ func New(db vectordb.DB, opts Options) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	co.SetTelemetry(opts.Telemetry)
 	p.co = co
 	return p, nil
 }
@@ -201,6 +217,22 @@ func (p *Pipeline) Search(q vec.Vector, k int) ([]vec.Scored, error) {
 		return p.co.Search(q, k)
 	}
 	return p.enqueue(q, k)
+}
+
+// SearchContext is Search with trace propagation: a sampled trace in ctx
+// records coalesce_wait / db_search spans as the request moves through
+// the pipeline (the db_search span on the batched path covers queue
+// dwell plus the shared backend call — the request's view of the miss;
+// the stage histograms attribute the components separately). Implements
+// core.ContextSearcher.
+func (p *Pipeline) SearchContext(ctx context.Context, q vec.Vector, k int) ([]vec.Scored, error) {
+	if p.co != nil {
+		return p.co.SearchContext(ctx, q, k)
+	}
+	finish := telemetry.FromContext(ctx).StartSpan(telemetry.StageDBSearch)
+	res, err := p.enqueue(q, k)
+	finish(err)
+	return res, err
 }
 
 // enqueue routes a unique search to its fingerprint-assigned queue.
@@ -266,6 +298,16 @@ func (p *Pipeline) DB() vectordb.DB { return p.db }
 
 // NumQueues returns the batch-queue count.
 func (p *Pipeline) NumQueues() int { return len(p.queues) }
+
+// Pending returns the total gathered-but-unflushed searches across all
+// queues — the queue-depth gauge the metrics endpoint exports.
+func (p *Pipeline) Pending() int {
+	n := 0
+	for _, q := range p.queues {
+		n += q.Pending()
+	}
+	return n
+}
 
 // Stats returns a snapshot of the aggregated counters.
 func (p *Pipeline) Stats() Stats {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"proximity/internal/telemetry"
 	"proximity/internal/vec"
 	"proximity/internal/vectordb"
 )
@@ -33,6 +34,13 @@ type QueueOptions struct {
 	Timeout time.Duration
 	// Clock supplies the flush timer. Defaults to SystemClock.
 	Clock Clock
+	// OnDwell, when set, observes each request's queue dwell — the time
+	// from enqueue to its batch being taken for flush. The telemetry
+	// hook for the batch_queue stage; nil adds no timestamping at all.
+	OnDwell func(time.Duration)
+	// Telemetry, when non-nil, records the latency of each backend
+	// SearchBatch call under the db_search stage.
+	Telemetry *telemetry.Telemetry
 }
 
 func (o *QueueOptions) fillDefaults() {
@@ -85,8 +93,9 @@ type searchReq struct {
 // Collector; this type binds it to the vector-search request shape. All
 // methods are safe for concurrent use.
 type Queue struct {
-	db vectordb.DB
-	c  *Collector[searchReq, []vec.Scored]
+	db  vectordb.DB
+	tel *telemetry.Telemetry
+	c   *Collector[searchReq, []vec.Scored]
 }
 
 // NewQueue creates a batch queue in front of db.
@@ -94,7 +103,7 @@ func NewQueue(db vectordb.DB, opts QueueOptions) (*Queue, error) {
 	if db == nil {
 		return nil, errors.New("batch: queue requires a database")
 	}
-	b := &Queue{db: db}
+	b := &Queue{db: db, tel: opts.Telemetry}
 	c, err := NewCollector(b.flush, opts)
 	if err != nil {
 		return nil, err
@@ -149,7 +158,9 @@ func (b *Queue) flush(reqs []searchReq) []Outcome[[]vec.Scored] {
 		for i, ri := range idxs {
 			qs[i] = reqs[ri].q
 		}
+		start := time.Now()
 		res, err := vectordb.SearchBatch(b.db, qs, k)
+		b.tel.ObserveStage(telemetry.StageDBSearch, time.Since(start))
 		if err != nil {
 			for _, ri := range idxs {
 				outs[ri] = Outcome[[]vec.Scored]{Err: err}

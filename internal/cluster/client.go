@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +15,7 @@ import (
 	"proximity/internal/rebalance"
 	"proximity/internal/server"
 	"proximity/internal/shard"
+	"proximity/internal/telemetry"
 	"proximity/internal/vec"
 	"proximity/internal/vectordb"
 )
@@ -74,6 +77,16 @@ type Options struct {
 	// BalancerGain is the adaptive controller's correction exponent
 	// (0 = DefaultGain; ignored without Rebalance).
 	BalancerGain float64
+	// Telemetry, when non-nil, receives node_rpc stage observations for
+	// every traced node call. Sampled queries (a live trace in the
+	// RetrieveContext context) bypass the per-node batch submitter and go
+	// out as direct traced calls, so the node's spans come back under the
+	// parent trace's ID; see Client.RetrieveContext.
+	Telemetry *telemetry.Telemetry
+	// Logger receives structured routing events: replica retries, nodes
+	// marked down, whole-query fallbacks, and ring re-weightings.
+	// Defaults to slog.Default().
+	Logger *slog.Logger
 }
 
 func (o *Options) fillDefaults() {
@@ -88,6 +101,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.ProbeCooldown <= 0 {
 		o.ProbeCooldown = DefaultProbeCooldown
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
 	}
 }
 
@@ -135,7 +151,9 @@ var ErrClosed = errors.New("cluster: client closed")
 type Client struct {
 	opts   Options
 	dim    int
-	hasher *lsh.Hasher // LSHSignature routing; nil under Fingerprint
+	hasher *lsh.Hasher          // LSHSignature routing; nil under Fingerprint
+	tel    *telemetry.Telemetry // nil disables stage observation
+	log    *slog.Logger
 
 	mu     sync.RWMutex
 	ring   *Ring
@@ -152,8 +170,10 @@ type Client struct {
 }
 
 var (
-	_ core.Cache    = (*Client)(nil)
-	_ core.Searcher = (*Client)(nil)
+	_ core.Cache           = (*Client)(nil)
+	_ core.Searcher        = (*Client)(nil)
+	_ core.ContextCache    = (*Client)(nil)
+	_ core.ContextSearcher = (*Client)(nil)
 )
 
 // New creates a cluster client for dim-dimensional embeddings over the
@@ -163,7 +183,13 @@ func New(dim int, nodes []string, opts Options) (*Client, error) {
 		return nil, fmt.Errorf("cluster: dimension must be positive, got %d", dim)
 	}
 	opts.fillDefaults()
-	c := &Client{opts: opts, dim: dim, nodes: make(map[string]*node, len(nodes))}
+	c := &Client{
+		opts:  opts,
+		dim:   dim,
+		nodes: make(map[string]*node, len(nodes)),
+		tel:   opts.Telemetry,
+		log:   opts.Logger,
+	}
 	switch opts.Partition {
 	case shard.LSHSignature:
 		bits := opts.SignatureBits
@@ -254,6 +280,23 @@ func (c *Client) RouteFor(q vec.Vector) []string {
 // cooldown lasts, so a dead node costs one failed round trip, not one
 // per query.
 func (c *Client) Retrieve(q vec.Vector) (docs []int, hit bool, err error) {
+	return c.retrieve(nil, q)
+}
+
+// RetrieveContext is Retrieve with trace propagation: when ctx carries a
+// sampled trace, every node attempt bypasses the per-node batch submitter
+// and goes out as a direct traced call — the request ships the trace ID
+// in the X-Proximity-Trace header, the node records its own spans under
+// that ID, and the response header carries them back to be grafted into
+// the parent trace, labeled with the node's address. The router adds one
+// node_rpc span per attempt (failed attempts carry the error), so a
+// replica retry shows up as two node_rpc spans under one trace ID.
+// Untraced contexts take the plain batched Retrieve path unchanged.
+func (c *Client) RetrieveContext(ctx context.Context, q vec.Vector) (docs []int, hit bool, err error) {
+	return c.retrieve(telemetry.FromContext(ctx), q)
+}
+
+func (c *Client) retrieve(trace *telemetry.Trace, q vec.Vector) (docs []int, hit bool, err error) {
 	if q == nil {
 		return nil, false, errors.New("cluster: nil query embedding")
 	}
@@ -293,7 +336,7 @@ func (c *Client) Retrieve(q vec.Vector) (docs []int, hit bool, err error) {
 
 	var lastErr error
 	for i, n := range cands {
-		item, err := n.do(q)
+		item, err := c.attempt(trace, n, q)
 		if err == nil {
 			n.markUp()
 			c.served.Add(1)
@@ -309,10 +352,42 @@ func (c *Client) Retrieve(q vec.Vector) (docs []int, hit bool, err error) {
 		if !retryable(err) {
 			return nil, false, err
 		}
+		c.log.Warn("cluster: node attempt failed, sidelining node",
+			"node", n.base, "attempt", i+1, "replicas", len(cands), "err", err)
 		n.markDown()
 	}
 	c.failed.Add(1)
+	c.log.Error("cluster: all replicas failed, falling back to caller",
+		"replicas", len(cands), "err", lastErr)
 	return nil, false, fmt.Errorf("cluster: all %d replicas failed: %w", len(cands), lastErr)
+}
+
+// attempt issues one node call. Untraced queries ride the node's batch
+// submitter (amortizing the HTTP round trip); traced ones go direct so
+// the node's span timeline attaches to exactly this request.
+func (c *Client) attempt(trace *telemetry.Trace, n *node, q vec.Vector) (server.BatchItem, error) {
+	if trace == nil {
+		return n.do(q)
+	}
+	finish := trace.StartSpanNode(telemetry.StageNodeRPC, n.base)
+	start := time.Now()
+	resp, spans, err := n.client.RetrieveTraced(q, trace.ID())
+	if c.tel != nil {
+		c.tel.ObserveStage(telemetry.StageNodeRPC, time.Since(start))
+	}
+	// Label the node's own spans with where they ran: the node doesn't
+	// know its public address, but the router does.
+	for i := range spans {
+		if spans[i].Node == "" {
+			spans[i].Node = n.base
+		}
+	}
+	trace.AddSpans(spans)
+	finish(err)
+	if err != nil {
+		return server.BatchItem{}, err
+	}
+	return server.BatchItem{Docs: resp.Docs, Hit: resp.Hit}, nil
 }
 
 // retryable classifies a node failure: transport errors and 5xx replies
@@ -341,6 +416,17 @@ func (c *Client) Get(q vec.Vector) ([]int, bool) {
 	return docs, true
 }
 
+// GetContext implements core.ContextCache: Get with trace propagation
+// (see RetrieveContext), so a sampled retrieval through a cluster-backed
+// retriever stitches the remote node's spans into its trace.
+func (c *Client) GetContext(ctx context.Context, q vec.Vector) ([]int, bool) {
+	docs, _, err := c.RetrieveContext(ctx, q)
+	if err != nil {
+		return nil, false
+	}
+	return docs, true
+}
+
 // Put implements core.Cache as a no-op: nodes fill their own caches on
 // their own miss paths, so the routed retrieval that preceded this call
 // already populated the owner.
@@ -360,6 +446,27 @@ func (c *Client) Search(q vec.Vector, k int) ([]vec.Scored, error) {
 		return nil, vectordb.ErrBadK
 	}
 	docs, _, err := c.Retrieve(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(docs) > k {
+		docs = docs[:k]
+	}
+	scored := make([]vec.Scored, len(docs))
+	for i, id := range docs {
+		scored[i] = vec.Scored{ID: id, Dist: float32(i)}
+	}
+	return scored, nil
+}
+
+// SearchContext implements core.ContextSearcher: Search with trace
+// propagation (see RetrieveContext). Distances are positional, as in
+// Search.
+func (c *Client) SearchContext(ctx context.Context, q vec.Vector, k int) ([]vec.Scored, error) {
+	if k <= 0 {
+		return nil, vectordb.ErrBadK
+	}
+	docs, _, err := c.RetrieveContext(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -436,6 +543,7 @@ func (c *Client) Rebalance(weights map[string]float64) error {
 	}
 	c.ring = ring
 	c.rebalances.Add(1)
+	c.log.Info("cluster: ring re-weighted", "nodes", len(weights))
 	return nil
 }
 

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
+	"proximity/internal/telemetry"
 	"proximity/internal/vec"
 	"proximity/internal/vectordb"
 )
@@ -13,6 +15,21 @@ import (
 // satisfies it, as does the batch pipeline's coalesced entry point.
 type Searcher interface {
 	Search(q vec.Vector, k int) ([]vec.Scored, error)
+}
+
+// ContextCache is an optional extension of Cache for implementations
+// that want the request context — the cluster client threads trace
+// propagation through it. RetrieveContext detects it by type assertion;
+// plain caches are called through Get unchanged.
+type ContextCache interface {
+	GetContext(ctx context.Context, q vec.Vector) ([]int, bool)
+}
+
+// ContextSearcher is the analogous optional extension of Searcher; the
+// batch pipeline and cluster client implement it so a sampled trace
+// follows the miss path across coalescing, queueing, and node hops.
+type ContextSearcher interface {
+	SearchContext(ctx context.Context, q vec.Vector, k int) ([]vec.Scored, error)
 }
 
 // RetrieverOptions configures a CachedRetriever.
@@ -48,6 +65,12 @@ type RetrieverOptions struct {
 	// tolerance of Frieder et al. that §3.3.3 discusses as the
 	// alternative to hand-tuning a global τ.
 	DynamicTolerance float64
+	// Telemetry, when non-nil, receives per-stage latency observations
+	// (cache_lookup, cache_fill, db_search) for every retrieval. Stage
+	// durations reuse the timings Retrieve already measures, so the
+	// instrumented hot path adds no extra clock reads; nil costs one
+	// branch per stage.
+	Telemetry *telemetry.Telemetry
 }
 
 // Result reports one retrieval.
@@ -112,16 +135,36 @@ func NewCachedRetriever(cache Cache, db vectordb.DB, opts RetrieverOptions) (*Ca
 // Retrieve returns the K most relevant document indices for the query
 // embedding, consulting the cache first.
 func (r *CachedRetriever) Retrieve(q vec.Vector) (Result, error) {
+	return r.RetrieveContext(context.Background(), q)
+}
+
+// RetrieveContext is Retrieve with request-scoped observability: if ctx
+// carries a sampled telemetry.Trace, each stage records a span, and the
+// context is forwarded to ContextCache/ContextSearcher implementations
+// so traces survive the batch pipeline and cluster hops. With no trace
+// in ctx it behaves exactly like Retrieve.
+func (r *CachedRetriever) RetrieveContext(ctx context.Context, q vec.Vector) (Result, error) {
 	if q == nil {
 		return Result{}, errNilQuery
 	}
 	var res Result
+	tel := r.opts.Telemetry
+	trace := telemetry.FromContext(ctx)
 
 	if r.cache != nil {
+		finish := trace.StartSpan(telemetry.StageCacheLookup)
 		start := time.Now()
-		cached, hit := r.cache.Get(q)
+		var cached []int
+		var hit bool
+		if cc, ok := r.cache.(ContextCache); ok {
+			cached, hit = cc.GetContext(ctx, q)
+		} else {
+			cached, hit = r.cache.Get(q)
+		}
 		res.CacheLookup = time.Since(start)
+		finish(nil)
 		res.CacheTime = res.CacheLookup
+		tel.ObserveStage(telemetry.StageCacheLookup, res.CacheLookup)
 		if hit {
 			res.Hit = true
 			docs, err := r.rerank(q, cached)
@@ -135,11 +178,24 @@ func (r *CachedRetriever) Retrieve(q vec.Vector) (Result, error) {
 
 	// Cache miss (or no cache): over-fetch ρ·K from the database,
 	// through the batching/coalescing searcher when one is configured.
+	// A context-aware searcher attributes its own stages (coalesce wait,
+	// queue dwell, node RPC); a plain one is timed here as db_search.
 	search := Searcher(r.db)
 	if r.opts.Searcher != nil {
 		search = r.opts.Searcher
 	}
-	scored, err := search.Search(q, r.opts.K*r.opts.Rerank)
+	var scored []vec.Scored
+	var err error
+	if cs, ok := search.(ContextSearcher); ok {
+		scored, err = cs.SearchContext(ctx, q, r.opts.K*r.opts.Rerank)
+	} else {
+		finish := trace.StartSpan(telemetry.StageDBSearch)
+		start := time.Now()
+		scored, err = search.Search(q, r.opts.K*r.opts.Rerank)
+		dur := time.Since(start)
+		finish(err)
+		tel.ObserveStage(telemetry.StageDBSearch, dur)
+	}
 	if err != nil {
 		return Result{}, fmt.Errorf("core: database search: %w", err)
 	}
@@ -149,13 +205,17 @@ func (r *CachedRetriever) Retrieve(q vec.Vector) (Result, error) {
 	all := vec.IDs(scored)
 
 	if r.cache != nil {
+		finish := trace.StartSpan(telemetry.StageCacheFill)
 		start := time.Now()
 		if r.opts.DynamicTolerance > 0 {
 			r.cache.PutWithTolerance(q, all, r.dynamicTolerance(scored))
 		} else {
 			r.cache.Put(q, all)
 		}
-		res.CacheTime += time.Since(start)
+		fill := time.Since(start)
+		finish(nil)
+		res.CacheTime += fill
+		tel.ObserveStage(telemetry.StageCacheFill, fill)
 	}
 	if len(all) > r.opts.K {
 		all = all[:r.opts.K]
@@ -209,6 +269,10 @@ func (r *CachedRetriever) DB() vectordb.DB { return r.db }
 // straight to the database). The stats endpoint uses this to surface
 // batch-pipeline counters.
 func (r *CachedRetriever) Searcher() Searcher { return r.opts.Searcher }
+
+// Telemetry returns the configured telemetry hub (nil when unset). The
+// server uses this to expose the retriever's stage histograms and tracer.
+func (r *CachedRetriever) Telemetry() *telemetry.Telemetry { return r.opts.Telemetry }
 
 // K returns the configured result count.
 func (r *CachedRetriever) K() int { return r.opts.K }

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"proximity/internal/telemetry"
+	"proximity/internal/vec"
+)
+
+// TestRetrieveContextStagesAndSpans verifies that a traced retrieval
+// records cache_lookup / db_search / cache_fill spans and that the
+// telemetry hub's stage histograms see both the miss and the hit.
+func TestRetrieveContextStagesAndSpans(t *testing.T) {
+	db := lineDB(t, 10)
+	cache := mustFlat(t, 1, Options{Capacity: 4, Tolerance: 0.5})
+	tel := telemetry.New(telemetry.Options{SampleEvery: 1})
+	r, err := NewCachedRetriever(cache, db, RetrieverOptions{K: 3, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, trace := tel.StartTrace(context.Background())
+	res, err := r.RetrieveContext(ctx, vec.Vector{2.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit {
+		t.Fatal("first retrieval must miss")
+	}
+	spans := trace.Spans()
+	trace.Finish()
+	wantStages := []telemetry.Stage{
+		telemetry.StageCacheLookup, telemetry.StageDBSearch, telemetry.StageCacheFill,
+	}
+	if len(spans) != len(wantStages) {
+		t.Fatalf("miss trace has %d spans (%v), want %d", len(spans), spans, len(wantStages))
+	}
+	for i, want := range wantStages {
+		if spans[i].Stage != want {
+			t.Errorf("span %d stage = %v, want %v", i, spans[i].Stage, want)
+		}
+	}
+
+	ctx, trace = tel.StartTrace(context.Background())
+	res, err = r.RetrieveContext(ctx, vec.Vector{2.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hit {
+		t.Fatal("similar retrieval should hit")
+	}
+	spans = trace.Spans()
+	trace.Finish()
+	if len(spans) != 1 || spans[0].Stage != telemetry.StageCacheLookup {
+		t.Fatalf("hit trace spans = %v, want one cache_lookup", spans)
+	}
+
+	snap := tel.StageSnapshot()
+	if snap[telemetry.StageCacheLookup].N != 2 {
+		t.Errorf("cache_lookup observations = %d, want 2", snap[telemetry.StageCacheLookup].N)
+	}
+	if snap[telemetry.StageDBSearch].N != 1 || snap[telemetry.StageCacheFill].N != 1 {
+		t.Errorf("db_search/cache_fill = %d/%d, want 1/1",
+			snap[telemetry.StageDBSearch].N, snap[telemetry.StageCacheFill].N)
+	}
+
+	// The ring served the two finished traces, newest first.
+	recent := tel.Tracer.Recent(0)
+	if len(recent) != 2 {
+		t.Fatalf("ring has %d traces, want 2", len(recent))
+	}
+}
+
+// TestRetrieveUntracedUnchanged pins that the plain Retrieve path with
+// no telemetry behaves identically (no spans, no observations, no cost
+// beyond nil checks).
+func TestRetrieveUntracedUnchanged(t *testing.T) {
+	db := lineDB(t, 10)
+	cache := mustFlat(t, 1, Options{Capacity: 4, Tolerance: 0.5})
+	r, err := NewCachedRetriever(cache, db, RetrieverOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Telemetry() != nil {
+		t.Fatal("unset telemetry should be nil")
+	}
+	if _, err := r.Retrieve(vec.Vector{1.0}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Retrieve(vec.Vector{1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hit {
+		t.Fatal("expected a hit")
+	}
+}

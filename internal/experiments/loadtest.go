@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"strings"
 	"time"
@@ -10,6 +12,7 @@ import (
 	"proximity/internal/core"
 	"proximity/internal/loadgen"
 	"proximity/internal/shard"
+	"proximity/internal/telemetry"
 	"proximity/internal/vec"
 	"proximity/internal/vectordb"
 	"proximity/internal/workload"
@@ -114,32 +117,37 @@ func (s *Suite) LoadTest(opts LoadTestOptions) (*LoadTestResult, error) {
 		return nil, err
 	}
 
-	newRetrieverTarget := func() (loadgen.Target, *shard.ShardedCache, error) {
+	// Each pass gets a fresh always-on telemetry hub (histograms only, no
+	// trace sampling), so the report's stage breakdown attributes exactly
+	// that pass's latency to cache lookup vs. database search.
+	newRetrieverTarget := func() (loadgen.Target, *shard.ShardedCache, *telemetry.Telemetry, error) {
 		cache, err := shard.NewFlat(s.cfg.Dim, opts.Shards, core.Options{
 			Capacity:  s.cfg.ZipfFlatCapacity,
 			Tolerance: 5,
 			Policy:    core.LRU,
 		}, s.cfg.BaseSeed+2000)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		retr, err := core.NewCachedRetriever(cache, db, core.RetrieverOptions{K: 4})
+		tel := telemetry.New(telemetry.Options{})
+		retr, err := core.NewCachedRetriever(cache, db, core.RetrieverOptions{K: 4, Telemetry: tel})
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		target, err := loadgen.NewRetrieverTarget(retr)
-		return target, cache, err
+		return target, cache, tel, err
 	}
 
-	target, cache, err := newRetrieverTarget()
+	target, cache, tel, err := newRetrieverTarget()
 	if err != nil {
 		return nil, err
 	}
 	res := &LoadTestResult{Shards: cache.NumShards(), Concurrency: opts.Concurrency}
 	res.Closed, err = loadgen.Run(target, w, loadgen.Options{
-		Mode:    loadgen.ClosedLoop,
-		Workers: opts.Concurrency,
-		Seed:    s.cfg.BaseSeed + 3000,
+		Mode:      loadgen.ClosedLoop,
+		Workers:   opts.Concurrency,
+		Seed:      s.cfg.BaseSeed + 3000,
+		Telemetry: tel,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: closed-loop pass: %w", err)
@@ -150,15 +158,16 @@ func (s *Suite) LoadTest(opts LoadTestOptions) (*LoadTestResult, error) {
 	if opts.QPS > 0 {
 		// A fresh cache so the open-loop pass measures cold-to-warm
 		// behavior, not the closed-loop pass's leftovers.
-		target, cache, err = newRetrieverTarget()
+		target, cache, tel, err = newRetrieverTarget()
 		if err != nil {
 			return nil, err
 		}
 		res.Open, err = loadgen.Run(target, w, loadgen.Options{
-			Mode:    loadgen.OpenLoop,
-			Workers: opts.Concurrency,
-			QPS:     opts.QPS,
-			Seed:    s.cfg.BaseSeed + 3000,
+			Mode:      loadgen.OpenLoop,
+			Workers:   opts.Concurrency,
+			QPS:       opts.QPS,
+			Seed:      s.cfg.BaseSeed + 3000,
+			Telemetry: tel,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: open-loop pass: %w", err)
@@ -351,4 +360,12 @@ func (r *LoadTestResult) Render() string {
 		b.WriteString(r.ClusterAB.Render())
 	}
 	return b.String()
+}
+
+// WriteJSON emits the machine-readable result, including each pass's
+// per-stage latency breakdown (loadgen.Report.Stages).
+func (r *LoadTestResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestTelemetryOverheadSmoke runs a tiny probe end to end: all three
+// configurations produce plausible timings and the artifact round-trips.
+// The committed BENCH_telemetry.json carries the full-size numbers; this
+// only guards the harness.
+func TestTelemetryOverheadSmoke(t *testing.T) {
+	res, err := TelemetryOverhead(TelemetryOverheadOptions{Iters: 300, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineNsOp <= 0 || res.DisabledNsOp <= 0 || res.SampledNsOp <= 0 {
+		t.Fatalf("non-positive timings: %+v", res)
+	}
+	if res.Iters != 300 || res.Rounds != 2 {
+		t.Errorf("options not echoed: %+v", res)
+	}
+	out := res.Render()
+	for _, want := range []string{"telemetry overhead", "baseline", "sampling off"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back TelemetryOverheadResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.BaselineNsOp != res.BaselineNsOp {
+		t.Errorf("JSON round-trip changed baseline: %v != %v", back.BaselineNsOp, res.BaselineNsOp)
+	}
+}

@@ -50,9 +50,27 @@ type Report struct {
 	HistLo     time.Duration
 	HistHi     time.Duration
 	HistCounts []int64
+	// Stages attributes time inside the target to retrieval stages
+	// (cache lookup, batch queue dwell, database search, node RPC, ...)
+	// over exactly this run: the delta of the telemetry hub's per-stage
+	// histograms across the replay. Empty without Options.Telemetry.
+	Stages []StageLatency
 	// FirstError carries the first failure observed (nil if none);
 	// Errors counts all of them.
 	FirstError error
+}
+
+// StageLatency is one stage's latency summary within a run. Counts need
+// not sum to the query count: a cache hit observes only the lookup
+// stage, and one batched flush serves many queries.
+type StageLatency struct {
+	Stage string        `json:"stage"`
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
 }
 
 // HitRate returns Hits over successful queries, or 0 with none.
@@ -144,6 +162,22 @@ func (r *Report) Render() string {
 			r.SvcMax.Round(time.Microsecond))
 	}
 	b.WriteString(r.renderHistogram())
+	if len(r.Stages) > 0 {
+		st := report.NewTable("stage breakdown",
+			"stage", "count", "total", "mean", "p50", "p95", "p99")
+		for _, s := range r.Stages {
+			st.AddRow(
+				s.Stage,
+				fmt.Sprintf("%d", s.Count),
+				s.Total.Round(time.Microsecond).String(),
+				s.Mean.Round(time.Microsecond).String(),
+				s.P50.Round(time.Microsecond).String(),
+				s.P95.Round(time.Microsecond).String(),
+				s.P99.Round(time.Microsecond).String(),
+			)
+		}
+		b.WriteString(st.String())
+	}
 	if r.FirstError != nil {
 		fmt.Fprintf(&b, "first error: %v\n", r.FirstError)
 	}

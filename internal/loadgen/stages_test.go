@@ -1,0 +1,108 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+
+	"proximity/internal/core"
+	"proximity/internal/telemetry"
+	"proximity/internal/vec"
+	"proximity/internal/vectordb"
+)
+
+// newTelemetryRetriever is newTestRetriever with a telemetry hub wired.
+func newTelemetryRetriever(t *testing.T) (*core.CachedRetriever, *telemetry.Telemetry) {
+	t.Helper()
+	rng := vec.NewRand(99)
+	db, err := vectordb.NewFlatIndex(testDim, vec.L2Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := db.Add(vec.Scale(vec.RandomUnit(rng, testDim), 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache, err := core.NewFlat(testDim, core.Options{Capacity: 64, Tolerance: 0.5, Policy: core.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New(telemetry.Options{})
+	retr, err := core.NewCachedRetriever(cache, db, core.RetrieverOptions{K: 2, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return retr, tel
+}
+
+// TestRunStageBreakdown: a run against a telemetry-wired retriever
+// reports the per-stage latency delta of exactly that run — every query
+// observes a cache lookup, only the unique ones a database search.
+func TestRunStageBreakdown(t *testing.T) {
+	retr, tel := newTelemetryRetriever(t)
+	target, err := NewRetrieverTarget(retr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, unique = 40, 8
+	w := syntheticWorkload(n, unique, 7)
+
+	rep, err := Run(target, w, Options{Workers: 1, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("run had %d errors: %v", rep.Errors, rep.FirstError)
+	}
+	byStage := make(map[string]StageLatency, len(rep.Stages))
+	for _, s := range rep.Stages {
+		byStage[s.Stage] = s
+	}
+	if got := byStage["cache_lookup"].Count; got != n {
+		t.Errorf("cache_lookup count = %d, want %d", got, n)
+	}
+	if got := byStage["db_search"].Count; got != unique {
+		t.Errorf("db_search count = %d, want %d", got, unique)
+	}
+	for _, s := range rep.Stages {
+		if s.Mean <= 0 || s.P95 < s.P50 || s.Total <= 0 {
+			t.Errorf("implausible stage summary %+v", s)
+		}
+	}
+	if out := rep.Render(); !strings.Contains(out, "stage breakdown") ||
+		!strings.Contains(out, "cache_lookup") {
+		t.Errorf("rendered report missing stage breakdown:\n%s", out)
+	}
+
+	// A second run over the same hub must report only its own delta.
+	rep2, err := Run(target, w, Options{Workers: 1, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep2.Stages {
+		if s.Stage == "cache_lookup" && s.Count != n {
+			t.Errorf("second run cache_lookup count = %d, want %d (delta, not cumulative)", s.Count, n)
+		}
+		if s.Stage == "db_search" {
+			t.Errorf("warm second run should have no db_search, got %+v", s)
+		}
+	}
+}
+
+// TestRunWithoutTelemetryHasNoStages pins the default: no hub, no block.
+func TestRunWithoutTelemetryHasNoStages(t *testing.T) {
+	target, err := NewRetrieverTarget(newTestRetriever(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(target, syntheticWorkload(10, 5, 7), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stages != nil {
+		t.Errorf("stages without telemetry = %+v, want none", rep.Stages)
+	}
+	if strings.Contains(rep.Render(), "stage breakdown") {
+		t.Error("render shows a stage breakdown without telemetry")
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"proximity/internal/telemetry"
 )
 
 // Client is a typed HTTP client for the retrieval middleware.
@@ -54,6 +56,102 @@ func (c *Client) Retrieve(embedding []float32) (RetrieveResponse, error) {
 	var out RetrieveResponse
 	err := c.post("/v1/retrieve", RetrieveRequest{Embedding: embedding}, &out)
 	return out, err
+}
+
+// RetrieveTraced is Retrieve under an existing trace: the request
+// carries traceID in the X-Proximity-Trace header, and the node's spans
+// (recorded under that ID) come back decoded from the response header —
+// the cluster router grafts them into the parent trace. traceID 0
+// degrades to a plain Retrieve.
+func (c *Client) RetrieveTraced(embedding []float32, traceID uint64) (RetrieveResponse, []telemetry.Span, error) {
+	var out RetrieveResponse
+	body, err := json.Marshal(RetrieveRequest{Embedding: embedding})
+	if err != nil {
+		return out, nil, fmt.Errorf("client: marshal: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/retrieve", bytes.NewReader(body))
+	if err != nil {
+		return out, nil, fmt.Errorf("client: request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceID != 0 {
+		req.Header.Set(telemetry.TraceHeader, telemetry.FormatTraceID(traceID))
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return out, nil, fmt.Errorf("client: /v1/retrieve: %w", err)
+	}
+	defer drainClose(resp.Body)
+	// Span decode failures are dropped, not fatal: the retrieval result
+	// matters more than its timeline.
+	spans, _ := telemetry.UnmarshalSpans(resp.Header.Get(telemetry.TraceSpanHeader))
+	if resp.StatusCode != http.StatusOK {
+		se := &StatusError{Code: resp.StatusCode, Path: "/v1/retrieve"}
+		var e errorResponse
+		if decodeErr := json.NewDecoder(resp.Body).Decode(&e); decodeErr == nil {
+			se.Msg = e.Error
+		}
+		return out, spans, se
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, spans, fmt.Errorf("client: /v1/retrieve decode: %w", err)
+	}
+	return out, spans, nil
+}
+
+// Traces fetches up to n recent sampled traces (n <= 0: all buffered).
+func (c *Client) Traces(n int) ([]telemetry.TraceRecord, error) {
+	url := c.base + "/v1/traces"
+	if n > 0 {
+		url += fmt.Sprintf("?n=%d", n)
+	}
+	resp, err := c.http.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("client: traces: %w", err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, &StatusError{Code: resp.StatusCode, Path: "/v1/traces"}
+	}
+	var out TracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: traces decode: %w", err)
+	}
+	return out.Traces, nil
+}
+
+// Health fetches the build-info health check.
+func (c *Client) Health() (HealthResponse, error) {
+	var out HealthResponse
+	resp, err := c.http.Get(c.base + "/v1/healthz")
+	if err != nil {
+		return out, fmt.Errorf("client: healthz: %w", err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return out, &StatusError{Code: resp.StatusCode, Path: "/v1/healthz"}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("client: healthz decode: %w", err)
+	}
+	return out, nil
+}
+
+// Metrics fetches the raw Prometheus text exposition.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		return "", fmt.Errorf("client: metrics: %w", err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return "", &StatusError{Code: resp.StatusCode, Path: "/metrics"}
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, drainMax))
+	if err != nil {
+		return "", fmt.Errorf("client: metrics read: %w", err)
+	}
+	return string(b), nil
 }
 
 // RetrieveBatch fetches documents for several embeddings in one call; the

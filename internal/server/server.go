@@ -9,8 +9,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -19,6 +22,7 @@ import (
 	"proximity/internal/embed"
 	"proximity/internal/rebalance"
 	"proximity/internal/shard"
+	"proximity/internal/telemetry"
 	"proximity/internal/vec"
 )
 
@@ -48,6 +52,18 @@ type Config struct {
 	// Rebalancer exposes an adaptive rebalance controller on the admin
 	// surface (optional; /v1/rebalance returns 501 without one).
 	Rebalancer Rebalancer
+	// Telemetry is the observability hub behind /metrics and /v1/traces.
+	// When nil, the retriever's hub is used; when that is nil too, a
+	// standalone hub is created so /metrics always answers (its stage
+	// histograms then stay empty — the retriever observes into its own).
+	Telemetry *telemetry.Telemetry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — opt-in
+	// because profile endpoints on a production port are an operator
+	// decision, not a default.
+	EnablePprof bool
+	// Logger receives structured error-path logs (5xx responses). Nil
+	// uses slog.Default.
+	Logger *slog.Logger
 }
 
 // Server is the HTTP middleware. Create with New, mount via Handler, or
@@ -55,6 +71,8 @@ type Config struct {
 type Server struct {
 	cfg Config
 	mux *http.ServeMux
+	tel *telemetry.Telemetry
+	log *slog.Logger
 }
 
 // New validates the config and builds the routes.
@@ -62,15 +80,97 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Retriever == nil {
 		return nil, errors.New("server: retriever is required")
 	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), tel: cfg.Telemetry, log: cfg.Logger}
+	if s.tel == nil {
+		s.tel = cfg.Retriever.Telemetry()
+	}
+	if s.tel == nil {
+		s.tel = telemetry.New(telemetry.Options{})
+	}
+	if s.log == nil {
+		s.log = slog.Default()
+	}
+	s.registerMetrics()
 	s.mux.HandleFunc("POST /v1/retrieve", s.handleRetrieve)
 	s.mux.HandleFunc("POST /v1/retrieve/batch", s.handleRetrieveBatch)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("POST /v1/flush", s.handleFlush)
 	s.mux.HandleFunc("POST /v1/rebalance", s.handleRebalance)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
+}
+
+// registerMetrics wires the process's operational counters into the
+// telemetry registry. Collectors read live values at scrape time; caches
+// whose Stats fan out over the network (statsSnapshotter — the cluster
+// client) are skipped so a scrape never triggers remote calls.
+func (s *Server) registerMetrics() {
+	reg := s.tel.Registry
+	if reg == nil {
+		return
+	}
+	telemetry.RegisterRuntimeMetrics(reg)
+	ret := s.cfg.Retriever
+	if cache := ret.Cache(); cache != nil {
+		if _, remote := cache.(statsSnapshotter); !remote {
+			reg.CounterFunc("proximity_cache_hits_total", "Cache hits.",
+				func() float64 { return float64(cache.Stats().Hits) })
+			reg.CounterFunc("proximity_cache_misses_total", "Cache misses.",
+				func() float64 { return float64(cache.Stats().Misses) })
+			reg.CounterFunc("proximity_cache_evictions_total", "Cache evictions.",
+				func() float64 { return float64(cache.Stats().Evictions) })
+			reg.CounterFunc("proximity_cache_puts_total", "Cache fills.",
+				func() float64 { return float64(cache.Stats().Puts) })
+			reg.CounterFunc("proximity_cache_distance_comparisons_total",
+				"Exact distance computations performed by cache lookups.",
+				func() float64 { return float64(cache.Stats().DistComps) })
+			reg.GaugeFunc("proximity_cache_entries", "Resident cache entries.",
+				func() float64 { return float64(cache.Len()) })
+			reg.GaugeFunc("proximity_cache_capacity", "Configured cache capacity.",
+				func() float64 { return float64(cache.Capacity()) })
+		}
+		if is, ok := cache.(core.IndexStatser); ok {
+			reg.CounterFunc("proximity_index_graph_hops_total",
+				"Graph-index traversal hops.",
+				func() float64 { return float64(is.IndexStats().GraphHops) })
+			reg.CounterFunc("proximity_index_reranks_total",
+				"Exact re-rank passes after graph traversal.",
+				func() float64 { return float64(is.IndexStats().Reranks) })
+			reg.GaugeFunc("proximity_index_tombstones",
+				"Tombstoned (deleted, not yet reused) graph slots.",
+				func() float64 { return float64(is.IndexStats().Tombstones) })
+		}
+	}
+	if bs, ok := ret.Searcher().(batchStatser); ok {
+		reg.CounterFunc("proximity_batch_searches_total",
+			"Searches entering the miss-coalescing pipeline.",
+			func() float64 { return float64(bs.Stats().Searches) })
+		reg.CounterFunc("proximity_batch_coalesced_total",
+			"Searches served from another request's flight.",
+			func() float64 { return float64(bs.Stats().Coalesced) })
+		reg.CounterFunc("proximity_batch_flushes_total",
+			"Batched SearchBatch calls issued to the index.",
+			func() float64 { return float64(bs.Stats().Flushes) })
+		reg.CounterFunc("proximity_batch_errors_total",
+			"Pipeline searches that returned a backend error.",
+			func() float64 { return float64(bs.Stats().Errors) })
+	}
+	if pd, ok := ret.Searcher().(interface{ Pending() int }); ok {
+		reg.GaugeFunc("proximity_batch_queue_depth",
+			"Gathered-but-unflushed searches across batch queues.",
+			func() float64 { return float64(pd.Pending()) })
+	}
 }
 
 // Handler returns the HTTP handler for mounting into a custom server.
@@ -276,7 +376,7 @@ func (s *Server) handleRetrieve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New("embedding is required"))
 		return
 	}
-	s.retrieve(w, req.Embedding)
+	s.retrieve(w, r, req.Embedding)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -293,7 +393,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New("text is required"))
 		return
 	}
-	s.retrieve(w, s.cfg.Embedder.Embed(req.Text))
+	s.retrieve(w, r, s.cfg.Embedder.Embed(req.Text))
 }
 
 func (s *Server) handleRetrieveBatch(w http.ResponseWriter, r *http.Request) {
@@ -346,7 +446,7 @@ func (s *Server) handleRetrieveBatch(w http.ResponseWriter, r *http.Request) {
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			httpError(w, retrieveStatus(err), fmt.Errorf("embedding %d: %w", i, err))
+			s.fail(w, r.URL.Path, retrieveStatus(err), fmt.Errorf("embedding %d: %w", i, err))
 			return
 		}
 	}
@@ -367,10 +467,30 @@ func retrieveStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
-func (s *Server) retrieve(w http.ResponseWriter, embedding vec.Vector) {
-	res, err := s.cfg.Retriever.Retrieve(embedding)
+func (s *Server) retrieve(w http.ResponseWriter, r *http.Request, embedding vec.Vector) {
+	// Trace admission: a request arriving with the propagation header is
+	// part of a trace some upstream router already sampled — record
+	// under its ID and return this node's spans in the response header.
+	// Otherwise this node makes its own sampling decision.
+	ctx := r.Context()
+	var trace *telemetry.Trace
+	foreign := false
+	if id, ok := telemetry.ParseTraceID(r.Header.Get(telemetry.TraceHeader)); ok {
+		ctx, trace = s.tel.Tracer.StartForeign(ctx, id)
+		foreign = trace != nil
+	} else {
+		ctx, trace = s.tel.StartTrace(ctx)
+	}
+
+	res, err := s.cfg.Retriever.RetrieveContext(ctx, embedding)
+	if foreign {
+		if enc, mErr := telemetry.MarshalSpans(trace.Spans()); mErr == nil && enc != "" {
+			w.Header().Set(telemetry.TraceSpanHeader, enc)
+		}
+	}
+	trace.Finish()
 	if err != nil {
-		httpError(w, retrieveStatus(err), err)
+		s.fail(w, r.URL.Path, retrieveStatus(err), err)
 		return
 	}
 	resp := RetrieveResponse{
@@ -384,13 +504,77 @@ func (s *Server) retrieve(w http.ResponseWriter, embedding vec.Vector) {
 		for _, id := range res.Docs {
 			text, err := s.cfg.Docs.Text(id)
 			if err != nil {
-				httpError(w, http.StatusInternalServerError, fmt.Errorf("resolve doc %d: %w", id, err))
+				s.fail(w, r.URL.Path, http.StatusInternalServerError, fmt.Errorf("resolve doc %d: %w", id, err))
 				return
 			}
 			resp.Texts = append(resp.Texts, text)
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// fail writes an error response, logging server faults (5xx) through the
+// structured logger; client errors (4xx) stay quiet — they are the
+// caller's bug, not an operational signal.
+func (s *Server) fail(w http.ResponseWriter, path string, code int, err error) {
+	if code >= 500 {
+		s.log.Error("request failed", "path", path, "status", code, "err", err)
+	}
+	httpError(w, code, err)
+}
+
+// handleMetrics serves the Prometheus text exposition of every
+// registered series: cache counters, batch/queue gauges, per-stage
+// latency histograms, and runtime self-sampling.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.tel.Registry.WritePrometheus(w)
+}
+
+// TracesResponse is the /v1/traces payload: recent sampled traces,
+// newest first.
+type TracesResponse struct {
+	Traces []telemetry.TraceRecord `json:"traces"`
+}
+
+// handleTraces serves the ring buffer of recent sampled traces. The
+// optional ?n= query bounds the count (default: everything buffered).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", v))
+			return
+		}
+		n = parsed
+	}
+	recs := s.tel.Tracer.Recent(n)
+	if recs == nil {
+		recs = []telemetry.TraceRecord{}
+	}
+	writeJSON(w, http.StatusOK, TracesResponse{Traces: recs})
+}
+
+// HealthResponse is the /v1/healthz payload: liveness plus build
+// identity, so a fleet operator can verify node homogeneity.
+type HealthResponse struct {
+	Status    string `json:"status"`
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	GoVersion string `json:"goVersion"`
+}
+
+// handleHealthz is the build-info health check (the bare /healthz stays
+// as the minimal liveness probe the cluster router polls).
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	bi := telemetry.ReadBuildInfo()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:    "ok",
+		Module:    bi.Module,
+		Version:   bi.Version,
+		GoVersion: bi.GoVersion,
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -529,9 +713,11 @@ func (s *Server) handleRebalance(w http.ResponseWriter, _ *http.Request) {
 		if errors.Is(err, rebalance.ErrBusy) || errors.Is(err, shard.ErrMigrationInProgress) {
 			code = http.StatusConflict
 		}
-		httpError(w, code, err)
+		s.fail(w, "/v1/rebalance", code, err)
 		return
 	}
+	s.log.Info("rebalance committed",
+		"acted", out.Acted, "before", out.Before, "after", out.After, "moved", out.Moved)
 	writeJSON(w, http.StatusOK, RebalanceResponse{
 		Acted:  out.Acted,
 		Before: out.Before,

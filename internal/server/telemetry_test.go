@@ -1,0 +1,224 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"proximity/internal/core"
+	"proximity/internal/embed"
+	"proximity/internal/telemetry"
+	"proximity/internal/vec"
+	"proximity/internal/vectordb"
+)
+
+// newTelemetryServer wires a middleware whose retriever and server share
+// one always-sampling telemetry hub.
+func newTelemetryServer(t *testing.T) (*Server, embed.Embedder, *telemetry.Telemetry) {
+	t.Helper()
+	const dim = 32
+	enc := embed.NewTokenHash(dim, 1)
+	passages := []string{
+		"aspirin heart attack prevention dosage",
+		"ibuprofen inflammation joint pain",
+		"melatonin sleep circadian rhythm",
+	}
+	db, err := vectordb.NewFlatIndex(dim, vec.L2Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range passages {
+		if err := db.Add(enc.Embed(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache, err := core.NewFlat(dim, core.Options{Capacity: 8, Tolerance: 1, Policy: core.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New(telemetry.Options{SampleEvery: 1, RingSize: 16})
+	retr, err := core.NewCachedRetriever(cache, db, core.RetrieverOptions{K: 2, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Retriever: retr, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, enc, tel
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, enc, _ := newTelemetryServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	emb := enc.Embed("aspirin heart attack prevention dosage")
+	if _, err := client.Retrieve(emb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Retrieve(emb); err != nil {
+		t.Fatal(err)
+	}
+
+	body, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE proximity_stage_latency_seconds histogram",
+		`proximity_stage_latency_seconds_count{stage="cache_lookup"} 2`,
+		`proximity_stage_latency_seconds_count{stage="db_search"} 1`,
+		"proximity_cache_hits_total 1",
+		"proximity_cache_misses_total 1",
+		"proximity_cache_entries 1",
+		"proximity_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestTracesEndpoint(t *testing.T) {
+	srv, enc, _ := newTelemetryServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	emb := enc.Embed("ibuprofen inflammation joint pain")
+	for i := 0; i < 3; i++ {
+		if _, err := client.Retrieve(emb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	traces, err := client.Traces(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("got %d traces, want 3", len(traces))
+	}
+	// Newest first: the last two retrievals hit (one cache_lookup span);
+	// the first missed (lookup + db_search + cache_fill).
+	if len(traces[0].Spans) != 1 || traces[0].Spans[0].Stage != telemetry.StageCacheLookup {
+		t.Errorf("hit trace spans = %+v", traces[0].Spans)
+	}
+	if len(traces[2].Spans) != 3 {
+		t.Errorf("miss trace spans = %+v", traces[2].Spans)
+	}
+	if traces[0].ID == traces[1].ID {
+		t.Error("trace IDs must be distinct")
+	}
+
+	limited, err := client.Traces(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 1 || limited[0].ID != traces[0].ID {
+		t.Errorf("Traces(1) = %+v", limited)
+	}
+}
+
+func TestForeignTraceHeader(t *testing.T) {
+	srv, enc, tel := newTelemetryServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	emb := enc.Embed("melatonin sleep circadian rhythm")
+	resp, spans, err := client.RetrieveTraced(emb, 0xbeef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Hit {
+		t.Error("first retrieval should miss")
+	}
+	if len(spans) != 3 {
+		t.Fatalf("foreign spans = %+v, want lookup+db_search+fill", spans)
+	}
+	for _, sp := range spans {
+		if sp.Dur < 0 {
+			t.Errorf("span %+v has negative duration", sp)
+		}
+	}
+	// A foreign-traced request must NOT enter this node's local ring —
+	// its timeline belongs to the parent.
+	if recent := tel.Tracer.Recent(0); len(recent) != 0 {
+		t.Errorf("foreign trace leaked into local ring: %d", len(recent))
+	}
+
+	// traceID 0 degrades to a plain retrieve: no span header.
+	_, spans, err = client.RetrieveTraced(emb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spans != nil {
+		t.Errorf("untraced call returned spans: %+v", spans)
+	}
+}
+
+func TestHealthzBuildInfo(t *testing.T) {
+	srv, _, _ := newTelemetryServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	h, err := client.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q", h.Status)
+	}
+	if h.GoVersion == "" || h.GoVersion == "unknown" {
+		t.Errorf("go version = %q", h.GoVersion)
+	}
+	if h.Module == "" {
+		t.Error("module missing")
+	}
+}
+
+func TestPprofOptIn(t *testing.T) {
+	srv, _, _ := newTelemetryServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// Off by default.
+	resp, err := ts.Client().Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Error("pprof should be off by default")
+	}
+
+	on, _, telHub := newTelemetryServerPprof(t)
+	_ = telHub
+	ts2 := httptest.NewServer(on.Handler())
+	defer ts2.Close()
+	resp, err = ts2.Client().Get(ts2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("pprof index status = %d", resp.StatusCode)
+	}
+}
+
+// newTelemetryServerPprof is newTelemetryServer with pprof enabled.
+func newTelemetryServerPprof(t *testing.T) (*Server, embed.Embedder, *telemetry.Telemetry) {
+	t.Helper()
+	base, enc, tel := newTelemetryServer(t)
+	srv, err := New(Config{
+		Retriever:   base.cfg.Retriever,
+		Telemetry:   tel,
+		EnablePprof: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, enc, tel
+}

@@ -53,6 +53,61 @@ func (h *Histogram) Buckets() []int64 {
 	return out
 }
 
+// Merge folds other's counts into h. The two histograms must share the
+// same range and bucket count (the per-shard/per-worker aggregation
+// contract); mismatched layouts return an error and leave h unchanged.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if other.lo != h.lo || other.hi != h.hi || len(other.buckets) != len(h.buckets) {
+		return fmt.Errorf("stats: merge layout mismatch: [%v,%v)x%d vs [%v,%v)x%d",
+			h.lo, h.hi, len(h.buckets), other.lo, other.hi, len(other.buckets))
+	}
+	for i, n := range other.buckets {
+		h.buckets[i] += n
+	}
+	h.count += other.count
+	return nil
+}
+
+// Quantile estimates the q-th quantile (0..1) from the bucket counts:
+// it walks the cumulative counts to the bucket holding the target rank
+// (rank = ceil(q*count), 1-based) and interpolates linearly within that
+// bucket's bounds. The error is bounded by one bucket width; edge
+// buckets also absorb clamped out-of-range samples, so quantiles landing
+// there are saturated rather than extrapolated. Returns 0 with no
+// samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	width := (h.hi - h.lo) / float64(len(h.buckets))
+	var cum int64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := h.lo + float64(i)*width
+			frac := float64(rank-cum) / float64(c)
+			return lo + frac*width
+		}
+		cum += c
+	}
+	return h.hi
+}
+
 // LatencyRecorder accumulates durations and reports summary statistics.
 // The evaluation reports retrieval latency means (Fig. 6c, 7d) and the
 // cache-lookup distributions (Fig. 10, 11) through this type.
@@ -80,7 +135,20 @@ func (r *LatencyRecorder) Mean() time.Duration {
 	return sum / time.Duration(len(r.samples))
 }
 
+// Merge appends other's samples into r — combining per-worker recorders
+// into one distribution after a run. Exact (no binning): percentiles of
+// the merged recorder equal percentiles over the concatenated samples.
+func (r *LatencyRecorder) Merge(other *LatencyRecorder) {
+	if other == nil {
+		return
+	}
+	r.samples = append(r.samples, other.samples...)
+}
+
 // Percentile returns the p-th percentile latency, or 0 with no samples.
+// The estimator is Percentile's linear interpolation between closest
+// ranks (R-7), NOT nearest-rank: with few samples the result may fall
+// between two observed latencies. See Percentile for the exact contract.
 func (r *LatencyRecorder) Percentile(p float64) time.Duration {
 	if len(r.samples) == 0 {
 		return 0

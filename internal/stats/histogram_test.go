@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestPercentileEstimatorTable pins the interpolating estimator (R-7)
+// against hand-computed values, including the cases where it diverges
+// from nearest-rank.
+func TestPercentileEstimatorTable(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"single", []float64{7}, 50, 7},
+		{"min", []float64{1, 2, 3, 4}, 0, 1},
+		{"max", []float64{1, 2, 3, 4}, 100, 4},
+		// R-7 median of an even count is the midpoint; nearest-rank
+		// would return 20.
+		{"median-even", []float64{10, 20, 30, 40}, 50, 25},
+		{"median-odd", []float64{10, 20, 30}, 50, 20},
+		// rank = 0.75*(5-1) = 3.0 exactly -> sorted[3].
+		{"exact-rank", []float64{1, 2, 3, 4, 5}, 75, 4},
+		// rank = 0.9*(5-1) = 3.6 -> 4*(0.4) + 5*(0.6) = 4.6.
+		{"interpolated", []float64{1, 2, 3, 4, 5}, 90, 4.6},
+		{"unsorted-input", []float64{40, 10, 30, 20}, 50, 25},
+		{"clamp-low", []float64{5, 6}, -10, 5},
+		{"clamp-high", []float64{5, 6}, 200, 6},
+	}
+	for _, tc := range cases {
+		got, err := Percentile(tc.xs, tc.p)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s: Percentile(%v, %v) = %v, want %v", tc.name, tc.xs, tc.p, got, tc.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+// TestPercentileKnownDistributions checks quantile estimates against the
+// analytic quantiles of sampled distributions.
+func TestPercentileKnownDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 50000
+
+	// Uniform [0, 1): quantile q is q.
+	uni := make([]float64, n)
+	for i := range uni {
+		uni[i] = rng.Float64()
+	}
+	for _, p := range []float64{10, 50, 90, 99} {
+		got, err := Percentile(uni, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-p/100) > 0.01 {
+			t.Errorf("uniform P(%v) = %v, want %v", p, got, p/100)
+		}
+	}
+
+	// Exponential(λ=1): quantile q is -ln(1-q).
+	exp := make([]float64, n)
+	for i := range exp {
+		exp[i] = rng.ExpFloat64()
+	}
+	for _, p := range []float64{50, 90, 99} {
+		got, err := Percentile(exp, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := -math.Log(1 - p/100)
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("exponential P(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+// TestLatencyRecorderMerge verifies the merged recorder matches a
+// recorder fed the concatenated stream exactly.
+func TestLatencyRecorderMerge(t *testing.T) {
+	var a, b, all LatencyRecorder
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		d := time.Duration(rng.Int63n(1_000_000))
+		a.Record(d)
+		all.Record(d)
+	}
+	for i := 0; i < 700; i++ {
+		d := time.Duration(rng.Int63n(10_000_000))
+		b.Record(d)
+		all.Record(d)
+	}
+	a.Merge(&b)
+	a.Merge(nil)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	for _, p := range []float64{50, 95, 99} {
+		if got, want := a.Percentile(p), all.Percentile(p); got != want {
+			t.Errorf("P(%v): merged %v != concatenated %v", p, got, want)
+		}
+	}
+	if a.Mean() != all.Mean() || a.Max() != all.Max() || a.Total() != all.Total() {
+		t.Error("merged summary stats diverge from concatenated")
+	}
+}
+
+// TestHistogramMergeAndQuantile covers the fixed-bucket histogram's new
+// aggregation path.
+func TestHistogramMergeAndQuantile(t *testing.T) {
+	mk := func() *Histogram {
+		h, err := NewHistogram(0, 100, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	a, b := mk(), mk()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20000; i++ {
+		a.Add(rng.Float64() * 100)
+		b.Add(rng.Float64() * 100)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 40000 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	// Uniform over [0,100): quantile q ≈ 100q, tolerance one bucket (2).
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := a.Quantile(q)
+		if math.Abs(got-q*100) > 2.5 {
+			t.Errorf("Quantile(%v) = %v, want ~%v", q, got, q*100)
+		}
+	}
+	// Layout mismatch is rejected without mutating.
+	other, err := NewHistogram(0, 200, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := a.Count()
+	if err := a.Merge(other); err == nil {
+		t.Error("mismatched layout should error")
+	}
+	if a.Count() != before {
+		t.Error("failed merge mutated the histogram")
+	}
+	// Empty histogram quantile and clamping.
+	if mk().Quantile(0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+	e := mk()
+	e.Add(50)
+	if lo, hi := e.Quantile(-1), e.Quantile(2); lo > hi || hi > 100 {
+		t.Errorf("clamped quantiles = %v, %v", lo, hi)
+	}
+}

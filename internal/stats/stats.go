@@ -60,7 +60,15 @@ func Mean(xs []float64) (float64, error) {
 }
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
-// interpolation between closest ranks. xs is not modified.
+// interpolation between closest ranks — the "C = 1" variant (R-7, the
+// numpy/Excel default): the target rank is p/100*(n-1) on the sorted
+// samples, and fractional ranks blend the two neighbors. This differs
+// from the nearest-rank method (R-1), which always returns an observed
+// sample: for xs = [10, 20, 30, 40], P(50) here is 25 (midpoint), where
+// nearest-rank would give 20. Interpolation is smoother for the small n
+// of per-run summaries; for n >= ~1000 the two agree to well under the
+// noise floor. P(0) and P(100) are the min and max exactly.
+// xs is not modified.
 func Percentile(xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty

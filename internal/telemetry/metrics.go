@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric (hits, misses, flushes).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (queue depth, entries).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// metricKind tags a registered series for exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+// series is one registered time series: a family name plus an optional
+// pre-rendered label set, backed by a live value source.
+type series struct {
+	name   string // family name, e.g. proximity_stage_latency_seconds
+	labels string // pre-rendered, e.g. `stage="cache_lookup"` (may be empty)
+	kind   metricKind
+	help   string
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *LatencyHistogram
+	fn      func() float64 // CounterFunc / GaugeFunc source
+}
+
+// Registry holds the process's metric series and renders them in the
+// Prometheus text exposition format. Registration is cheap and happens at
+// wiring time; the observation hot paths touch only the returned Counter /
+// Gauge / LatencyHistogram values, never the registry lock.
+type Registry struct {
+	mu     sync.Mutex
+	series []*series
+	byKey  map[string]*series
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*series)}
+}
+
+// register adds a series, replacing any previous registration of the same
+// (name, labels) pair — re-registration keeps wiring idempotent.
+func (r *Registry) register(s *series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := s.name + "{" + s.labels + "}"
+	if old, ok := r.byKey[key]; ok {
+		*old = *s
+		return
+	}
+	r.byKey[key] = s
+	r.series = append(r.series, s)
+}
+
+// Counter registers (or returns a new) counter series.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&series{name: name, kind: kindCounter, help: help, counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for counters owned elsewhere (cache hit/miss totals).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&series{name: name, kind: kindCounter, help: help, fn: fn})
+}
+
+// Gauge registers (or returns a new) gauge series.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&series{name: name, kind: kindGauge, help: help, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time (queue depth,
+// goroutine count, heap bytes).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&series{name: name, kind: kindGauge, help: help, fn: fn})
+}
+
+// GaugeLabeled is GaugeFunc with one fixed label pair.
+func (r *Registry) GaugeLabeled(name, help, label, value string, fn func() float64) {
+	r.register(&series{
+		name: name, kind: kindGauge, help: help, fn: fn,
+		labels: fmt.Sprintf("%s=%q", label, value),
+	})
+}
+
+// CounterLabeled is CounterFunc with one fixed label pair.
+func (r *Registry) CounterLabeled(name, help, label, value string, fn func() float64) {
+	r.register(&series{
+		name: name, kind: kindCounter, help: help, fn: fn,
+		labels: fmt.Sprintf("%s=%q", label, value),
+	})
+}
+
+// Histogram registers (or returns a new) histogram series.
+func (r *Registry) Histogram(name, help string) *LatencyHistogram {
+	h := NewLatencyHistogram()
+	r.register(&series{name: name, kind: kindHistogram, help: help, hist: h})
+	return h
+}
+
+// HistogramLabeled registers a histogram with one fixed label pair —
+// how the per-stage latency family shares a name across stages.
+func (r *Registry) HistogramLabeled(name, help, label, value string) *LatencyHistogram {
+	h := NewLatencyHistogram()
+	r.register(&series{
+		name: name, kind: kindHistogram, help: help, hist: h,
+		labels: fmt.Sprintf("%s=%q", label, value),
+	})
+	return h
+}
+
+// expoLe is the fixed bucket boundary list (seconds) used for histogram
+// exposition: one bound per octave from 1µs to ~8.6s plus +Inf. The
+// internal layout keeps 8 sub-buckets per octave for quantile precision;
+// exposition collapses to octaves so a scrape carries 25 series per
+// histogram instead of 320.
+var expoLe = func() []float64 {
+	out := make([]float64, 0, 24)
+	for ns := int64(1000); ns <= int64(1000)<<23; ns <<= 1 {
+		out = append(out, float64(ns)/1e9)
+	}
+	return out
+}()
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4), grouping series that share a family
+// name under one HELP/TYPE header.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	all := make([]*series, len(r.series))
+	copy(all, r.series)
+	r.mu.Unlock()
+
+	// Group by family name, preserving registration order of first
+	// appearance (Prometheus requires one HELP/TYPE block per family).
+	order := make([]string, 0, len(all))
+	families := make(map[string][]*series, len(all))
+	for _, s := range all {
+		if _, ok := families[s.name]; !ok {
+			order = append(order, s.name)
+		}
+		families[s.name] = append(families[s.name], s)
+	}
+	for _, name := range order {
+		group := families[name]
+		kind := "counter"
+		switch group[0].kind {
+		case kindGauge:
+			kind = "gauge"
+		case kindHistogram:
+			kind = "histogram"
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n", name, group[0].help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+		for _, s := range group {
+			switch s.kind {
+			case kindCounter, kindGauge:
+				v := 0.0
+				switch {
+				case s.fn != nil:
+					v = s.fn()
+				case s.counter != nil:
+					v = float64(s.counter.Value())
+				case s.gauge != nil:
+					v = s.gauge.Value()
+				}
+				fmt.Fprintf(w, "%s%s %s\n", s.name, renderLabels(s.labels), fmtFloat(v))
+			case kindHistogram:
+				writePromHistogram(w, s)
+			}
+		}
+	}
+}
+
+// writePromHistogram renders one histogram series: cumulative le buckets
+// on the octave boundaries, then _sum and _count.
+func writePromHistogram(w io.Writer, s *series) {
+	snap := s.hist.Snapshot()
+	var cum int64
+	next := 0
+	for _, le := range expoLe {
+		bound := int64(le * 1e9)
+		for next < numBuckets && bucketUpper(next) <= bound {
+			cum += snap.Buckets[next]
+			next++
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, renderLabels(s.labels, fmt.Sprintf("le=%q", fmtFloat(le))), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, renderLabels(s.labels, `le="+Inf"`), snap.N)
+	fmt.Fprintf(w, "%s_sum%s %s\n", s.name, renderLabels(s.labels), fmtFloat(float64(snap.SumNs)/1e9))
+	fmt.Fprintf(w, "%s_count%s %d\n", s.name, renderLabels(s.labels), snap.N)
+}
+
+// renderLabels joins non-empty label fragments into {a="b",c="d"} form.
+func renderLabels(fragments ...string) string {
+	parts := fragments[:0:0]
+	for _, f := range fragments {
+		if f != "" {
+			parts = append(parts, f)
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// fmtFloat renders a float the way Prometheus expects: integral values
+// without an exponent, everything else in shortest-round-trip form.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Families returns the registered family names, sorted — a test and
+// diagnostics helper.
+func (r *Registry) Families() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range r.series {
+		if !seen[s.name] {
+			seen[s.name] = true
+			out = append(out, s.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

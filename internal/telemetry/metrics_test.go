@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("proximity_test_total", "test counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := reg.Gauge("proximity_test_depth", "test gauge")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("proximity_hits_total", "Cache hits.")
+	c.Add(42)
+	reg.GaugeFunc("proximity_queue_depth", "Queue depth.", func() float64 { return 7 })
+	reg.CounterLabeled("proximity_cache_ops_total", "Cache ops.", "op", "get",
+		func() float64 { return 10 })
+	reg.CounterLabeled("proximity_cache_ops_total", "Cache ops.", "op", "put",
+		func() float64 { return 3 })
+	h := reg.HistogramLabeled("proximity_stage_latency_seconds",
+		"Per-stage latency.", "stage", "cache_lookup")
+	h.Observe(100 * time.Microsecond)
+	h.Observe(200 * time.Microsecond)
+	h.Observe(50 * time.Millisecond)
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP proximity_hits_total Cache hits.",
+		"# TYPE proximity_hits_total counter",
+		"proximity_hits_total 42",
+		"# TYPE proximity_queue_depth gauge",
+		"proximity_queue_depth 7",
+		`proximity_cache_ops_total{op="get"} 10`,
+		`proximity_cache_ops_total{op="put"} 3`,
+		"# TYPE proximity_stage_latency_seconds histogram",
+		`proximity_stage_latency_seconds_bucket{stage="cache_lookup",le="+Inf"} 3`,
+		`proximity_stage_latency_seconds_count{stage="cache_lookup"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE block per family even with multiple labeled series.
+	if n := strings.Count(out, "# TYPE proximity_cache_ops_total"); n != 1 {
+		t.Errorf("cache_ops family has %d TYPE lines, want 1", n)
+	}
+	// Cumulative le buckets: the 256µs bound must already include both
+	// sub-millisecond observations; the +Inf bound includes all three.
+	if !strings.Contains(out, `le="0.000256"} 2`) {
+		t.Errorf("exposition missing cumulative 256µs bucket with 2 obs\n---\n%s", out)
+	}
+	// _sum is in seconds.
+	if !strings.Contains(out, "proximity_stage_latency_seconds_sum") {
+		t.Errorf("exposition missing _sum\n---\n%s", out)
+	}
+}
+
+func TestRegistryReregisterIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("proximity_x", "x", func() float64 { return 1 })
+	reg.GaugeFunc("proximity_x", "x", func() float64 { return 2 })
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if n := strings.Count(sb.String(), "\nproximity_x "); n != 1 {
+		t.Fatalf("re-registered series appears %d times, want 1\n%s", n, sb.String())
+	}
+	if !strings.Contains(sb.String(), "proximity_x 2") {
+		t.Fatalf("re-registration should replace the source\n%s", sb.String())
+	}
+	fams := reg.Families()
+	if len(fams) != 1 || fams[0] != "proximity_x" {
+		t.Fatalf("families = %v", fams)
+	}
+}
+
+func TestGaugeLabeledAndHistogramUnlabeled(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeLabeled("proximity_shard_entries", "Entries per shard.", "shard", "0",
+		func() float64 { return 12 })
+	h := reg.Histogram("proximity_request_seconds", "Request latency.")
+	h.Observe(time.Millisecond)
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `proximity_shard_entries{shard="0"} 12`) {
+		t.Errorf("missing labeled gauge\n%s", out)
+	}
+	if !strings.Contains(out, `proximity_request_seconds_bucket{le="+Inf"} 1`) {
+		t.Errorf("missing unlabeled histogram buckets\n%s", out)
+	}
+}
+
+func TestFmtFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		42:     "42",
+		-3:     "-3",
+		1.5:    "1.5",
+		0.0001: "0.0001",
+	}
+	for in, want := range cases {
+		if got := fmtFloat(in); got != want {
+			t.Errorf("fmtFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterRuntimeMetrics adds process self-sampling gauges to reg:
+// goroutine count, heap usage, GC cycle count, and last GC pause. The
+// values are read fresh at each scrape — no background goroutine.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("proximity_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("proximity_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapAlloc)
+		})
+	reg.GaugeFunc("proximity_heap_objects",
+		"Number of allocated heap objects.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapObjects)
+		})
+	reg.CounterFunc("proximity_gc_cycles_total",
+		"Completed GC cycles.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.NumGC)
+		})
+	reg.GaugeFunc("proximity_gc_last_pause_seconds",
+		"Duration of the most recent GC stop-the-world pause.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			if m.NumGC == 0 {
+				return 0
+			}
+			return float64(m.PauseNs[(m.NumGC+255)%256]) / 1e9
+		})
+}
+
+// BuildInfo describes the running binary for fleet-homogeneity checks.
+type BuildInfo struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+}
+
+// ReadBuildInfo extracts module path, module version, and Go toolchain
+// version from the binary's embedded build info. Fields degrade to
+// "unknown" when the binary was built without module info (go test).
+func ReadBuildInfo() BuildInfo {
+	out := BuildInfo{Module: "unknown", Version: "unknown", GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Path != "" {
+			out.Module = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			out.Version = bi.Main.Version
+		}
+		if bi.GoVersion != "" {
+			out.GoVersion = bi.GoVersion
+		}
+	}
+	return out
+}

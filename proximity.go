@@ -162,6 +162,49 @@
 //
 // `proximity-bench -experiment annindex` measures the three variants
 // head-to-head and writes the comparison to a BENCH_*.json file.
+//
+// # Observability
+//
+// NewTelemetry creates the zero-dependency observability hub the whole
+// stack shares: lock-free per-stage latency histograms (cache lookup,
+// cache fill, coalesce wait, batch queue dwell, database search, node
+// RPC), a pooled 1-in-N request tracer, and a metrics registry. Wire one
+// hub through RetrieverOptions.Telemetry, BatchOptions.Telemetry,
+// ClusterOptions.Telemetry, and the server's Config.Telemetry and every
+// layer reports into the same place:
+//
+//	tel := proximity.NewTelemetry(proximity.TelemetryOptions{SampleEvery: 100})
+//	retriever, _ := proximity.NewRetriever(cache, db, proximity.RetrieverOptions{
+//		K: 4, Telemetry: tel,
+//	})
+//
+// The HTTP middleware then serves:
+//
+//   - GET /metrics — Prometheus text exposition (0.0.4): cache
+//     hit/miss/eviction counters, graph-index and batch-pipeline
+//     counters, queue-depth and occupancy gauges, runtime gauges, and
+//     one proximity_stage_latency_seconds histogram per stage.
+//   - GET /v1/traces — the most recent sampled traces as JSON, each a
+//     span timeline attributing one request's latency to stages.
+//   - GET /v1/healthz — build info (module version, Go version).
+//   - /debug/pprof/ — net/http/pprof, opt-in via the server's
+//     Config.EnablePprof (`proximity-server -pprof`).
+//
+// Traces cross cluster hops: the router sends the trace ID in the
+// X-Proximity-Trace request header (16 hex digits), the owning node
+// records its stages under that ID, and the node's spans come back in
+// the X-Proximity-Trace-Spans response header (a JSON span array) to be
+// grafted into the parent trace, labeled with the node's address — one
+// trace ID spans the client's node_rpc attempts and every node-side
+// stage, surviving replica retries.
+//
+// Passing the hub to RunLoad via LoadOptions.Telemetry adds a per-stage
+// latency breakdown (LoadReport.Stages) to the report, and
+// `proximity-bench -experiment overhead` measures the layer's cost on
+// the cached-hit path (committed in BENCH_telemetry.json: indistinguish-
+// able from zero with sampling off). Sampling is off by default
+// (TelemetryOptions.SampleEvery 0); an unsampled request pays only nil
+// checks and histogram observations.
 package proximity
 
 import (
@@ -174,6 +217,7 @@ import (
 	"proximity/internal/loadgen"
 	"proximity/internal/rebalance"
 	"proximity/internal/shard"
+	"proximity/internal/telemetry"
 	"proximity/internal/vec"
 	"proximity/internal/vectordb"
 	"proximity/internal/workload"
@@ -300,6 +344,22 @@ type (
 	ShardRebalanceOptions = rebalance.ShardTargetOptions
 	// ShardMigration summarizes one partitioner re-draw migration.
 	ShardMigration = shard.Migration
+
+	// Telemetry is the shared observability hub: per-stage latency
+	// histograms, the request tracer, and the metrics registry.
+	Telemetry = telemetry.Telemetry
+	// TelemetryOptions configures a Telemetry hub (sampling rate, trace
+	// ring size).
+	TelemetryOptions = telemetry.Options
+	// TraceStage identifies one pipeline stage within a trace or
+	// histogram (cache lookup, batch queue, database search, ...).
+	TraceStage = telemetry.Stage
+	// TraceSpan is one timed stage within a trace.
+	TraceSpan = telemetry.Span
+	// TraceRecord is a completed sampled trace as served at /v1/traces.
+	TraceRecord = telemetry.TraceRecord
+	// StageLatency is one stage's latency summary in LoadReport.Stages.
+	StageLatency = loadgen.StageLatency
 )
 
 // Eviction policies.
@@ -349,6 +409,13 @@ const (
 	// InnerProduct is the negated dot product.
 	InnerProduct = vec.InnerProduct
 )
+
+// NewTelemetry creates an observability hub (see the package doc's
+// Observability section). A nil hub is valid everywhere one is accepted
+// and disables all instrumentation.
+func NewTelemetry(opts TelemetryOptions) *Telemetry {
+	return telemetry.New(opts)
+}
 
 // NewFlatCache creates a Proximity-FLAT cache for dim-dimensional query
 // embeddings (linear scan, exact within the cached set).
