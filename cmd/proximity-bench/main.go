@@ -11,11 +11,14 @@
 //	    [-ann-ef E1,E2] [-bench-out PATH]
 //	proximity-bench -experiment overhead [-overhead-iters N]
 //	    [-overhead-rounds R] [-bench-out PATH]
+//	proximity-bench -experiment churn [-churn-capacity N] [-churn-mults M1,M2]
+//	    [-churn-queries Q] [-bench-out PATH]
 //
 // where LIST is a comma-separated subset of
 // fig2,fig3,fig6-mmlu,fig6-medrag,fig7,fig8,fig9,fig10,fig11,fig12,opcount,
-// loadtest,rebalance,annindex,overhead or "all" (default: every figure;
-// loadtest, rebalance, annindex, and overhead run only when named).
+// loadtest,rebalance,annindex,overhead,churn or "all" (default: every
+// figure; loadtest, rebalance, annindex, overhead, and churn run only when
+// named).
 // Results print to stdout; redirect to a file to keep them. The -quick
 // flag switches to the CI-sized configuration.
 //
@@ -45,6 +48,12 @@
 // cached-hit path three ways — no hub, hub with sampling off (the
 // production default, promised ≲1%), and every request traced — and
 // writes the result to -bench-out (default BENCH_telemetry.json).
+//
+// The churn experiment measures graph-recall decay under FIFO eviction
+// churn and its repair: the same Put stream replayed with in-edge repair
+// disabled, enabled, and enabled plus scheduled maintenance, each scored
+// against a freshly rebuilt graph over the identical resident set. It
+// writes the result to -bench-out (default BENCH_churn.json).
 package main
 
 import (
@@ -113,6 +122,9 @@ func run(args []string) error {
 		benchOut     = fs.String("bench-out", "", "output path for the machine-readable JSON result (annindex defaults to BENCH_annindex.json, overhead to BENCH_telemetry.json; loadtest writes only when set)")
 		ovIters      = fs.Int("overhead-iters", 0, "overhead: cached-hit retrievals per timed round (0 = default)")
 		ovRounds     = fs.Int("overhead-rounds", 0, "overhead: timed rounds per configuration (0 = default)")
+		churnCap     = fs.Int("churn-capacity", 0, "churn: cache capacity under eviction churn (0 = default 2000)")
+		churnMults   = fs.String("churn-mults", "", "churn: comma-separated churn multiples (default 1,2,5)")
+		churnQueries = fs.Int("churn-queries", 0, "churn: near-duplicate lookups per variant (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -163,6 +175,29 @@ func run(args []string) error {
 			Concurrency: *concurrency,
 			Threshold:   *rebThresh,
 		})
+	}})
+	available = append(available, figure{"churn", func(s *experiments.Suite) (renderer, error) {
+		mults, err := parseEntryCounts(*churnMults)
+		if err != nil {
+			return nil, fmt.Errorf("bad -churn-mults: %w", err)
+		}
+		res, err := experiments.Churn(experiments.ChurnOptions{
+			Capacity: *churnCap,
+			Mults:    mults,
+			Queries:  *churnQueries,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_churn.json"
+		}
+		if err := writeBenchJSON(out, res); err != nil {
+			return nil, err
+		}
+		fmt.Printf("wrote %s\n", out)
+		return res, nil
 	}})
 	available = append(available, figure{"annindex", func(s *experiments.Suite) (renderer, error) {
 		counts, err := parseEntryCounts(*entries)

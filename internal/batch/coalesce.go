@@ -45,10 +45,11 @@ func (s CoalesceStats) Rate() float64 {
 
 // flight is one in-progress inner search shared by duplicate requests.
 type flight struct {
-	q    vec.Vector // the leader's embedding, for collision verification
-	done chan struct{}
-	res  []vec.Scored
-	err  error
+	q       vec.Vector // the leader's embedding, for collision verification
+	traceID uint64     // the leader's trace ID (0 if the leader is unsampled)
+	done    chan struct{}
+	res     []vec.Scored
+	err     error
 }
 
 // Coalescer deduplicates concurrent identical (or, with an LSH-signature
@@ -155,7 +156,10 @@ func (c *Coalescer) search(trace *telemetry.Trace, q vec.Vector, k int) ([]vec.S
 		}
 		c.stats.Coalesced++
 		c.mu.Unlock()
-		finish := trace.StartSpan(telemetry.StageCoalesceWait)
+		// Link the wait to the leader's trace: the follower's latency is
+		// the leader's work, and the link keeps that search attributable
+		// from every request it served.
+		finish := trace.StartSpanLinked(telemetry.StageCoalesceWait, f.traceID)
 		var waitStart time.Time
 		if c.tel != nil {
 			waitStart = time.Now()
@@ -174,7 +178,7 @@ func (c *Coalescer) search(trace *telemetry.Trace, q vec.Vector, k int) ([]vec.S
 		copy(out, f.res)
 		return out, nil
 	}
-	f := &flight{q: q, done: make(chan struct{})}
+	f := &flight{q: q, traceID: trace.ID(), done: make(chan struct{})}
 	c.inflight[key] = f
 	c.stats.Leads++
 	c.mu.Unlock()

@@ -1,6 +1,7 @@
 package batch_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"proximity/internal/batch"
+	"proximity/internal/telemetry"
 	"proximity/internal/vec"
 )
 
@@ -288,4 +290,86 @@ func ExampleCoalesceStats_Rate() {
 	s := batch.CoalesceStats{Leads: 25, Coalesced: 75}
 	fmt.Printf("%.2f\n", s.Rate())
 	// Output: 0.75
+}
+
+// TestCoalescerFollowerSpanLink pins the trace attribution contract: a
+// sampled follower's coalesce_wait span must carry the leader's trace ID
+// as its link, so the leader's search stays discoverable from every
+// request it served. An unsampled leader yields a zero link.
+func TestCoalescerFollowerSpanLink(t *testing.T) {
+	g := newGatedSearcher()
+	c, err := batch.NewCoalescer(g, keyByFirstElement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := telemetry.NewTracer(1, 8) // sample every request
+	leaderCtx, leaderTrace := tr.Start(context.Background())
+	followerCtx, followerTrace := tr.Start(context.Background())
+	if leaderTrace.ID() == 0 || followerTrace.ID() == 0 {
+		t.Fatal("sampling off")
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if _, err := c.SearchContext(leaderCtx, vec.Vector{1, 0}, 2); err != nil {
+			t.Error(err)
+		}
+	}()
+	waitForStats(t, c, 1, 0)
+	go func() {
+		defer wg.Done()
+		if _, err := c.SearchContext(followerCtx, vec.Vector{1, 0}, 2); err != nil {
+			t.Error(err)
+		}
+	}()
+	waitForStats(t, c, 1, 1)
+	close(g.release)
+	wg.Wait()
+	var waits []telemetry.Span
+	for _, s := range followerTrace.Spans() {
+		if s.Stage == telemetry.StageCoalesceWait {
+			waits = append(waits, s)
+		}
+	}
+	if len(waits) != 1 {
+		t.Fatalf("follower coalesce_wait spans = %d, want 1", len(waits))
+	}
+	if waits[0].Link != leaderTrace.ID() {
+		t.Errorf("follower wait link = %d, want leader trace %d", waits[0].Link, leaderTrace.ID())
+	}
+	followerTrace.Finish()
+	leaderTrace.Finish()
+
+	// Unsampled leader (nil trace): followers still coalesce, link is 0.
+	g2 := newGatedSearcher()
+	c2, err := batch.NewCoalescer(g2, keyByFirstElement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, f2Trace := tr.Start(context.Background())
+	f2Ctx := telemetry.ContextWithTrace(context.Background(), f2Trace)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if _, err := c2.Search(vec.Vector{2, 0}, 2); err != nil { // untraced leader
+			t.Error(err)
+		}
+	}()
+	waitForStats(t, c2, 1, 0)
+	go func() {
+		defer wg.Done()
+		if _, err := c2.SearchContext(f2Ctx, vec.Vector{2, 0}, 2); err != nil {
+			t.Error(err)
+		}
+	}()
+	waitForStats(t, c2, 1, 1)
+	close(g2.release)
+	wg.Wait()
+	for _, s := range f2Trace.Spans() {
+		if s.Stage == telemetry.StageCoalesceWait && s.Link != 0 {
+			t.Errorf("unsampled leader produced link %d, want 0", s.Link)
+		}
+	}
+	f2Trace.Finish()
 }

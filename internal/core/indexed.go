@@ -4,8 +4,10 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"time"
 
 	"proximity/internal/hnsw"
+	"proximity/internal/telemetry"
 	"proximity/internal/vec"
 )
 
@@ -33,6 +35,47 @@ type IndexedOptions struct {
 	EfConstruction int
 	// Seed drives the graph's layer assignment.
 	Seed uint64
+
+	// Maintenance, when non-nil, schedules incremental graph repair on
+	// the Put path: churn (eviction + reinsert) leaves mildly degraded
+	// neighborhoods queued inside the graph, and a maintenance pass
+	// re-links a bounded batch of them whenever churn pressure crosses
+	// the configured trigger. Nil disables background repair; in-edge
+	// severing at slot reuse (the main recall fix) stays on regardless.
+	Maintenance *MaintenanceOptions
+	// Telemetry, when set, observes maintenance passes under the
+	// graph_repair stage.
+	Telemetry *telemetry.Telemetry
+	// DisableInEdgeRepair restores the pre-repair reuse behavior (stale
+	// in-edges survive slot recycling). Benchmark baseline only — it
+	// re-introduces the churn recall decay this option exists to fix.
+	DisableInEdgeRepair bool
+}
+
+// MaintenanceOptions tunes the incremental repair schedule. Zero values
+// take the defaults noted per field.
+type MaintenanceOptions struct {
+	// Every triggers a repair pass after this many slot reuses since the
+	// last pass. Default 64.
+	Every int
+	// Budget caps the nodes re-linked per pass — the Put-path latency
+	// bound. Default 16.
+	Budget int
+	// TombstoneRatio additionally triggers a pass when the graph's
+	// tombstone fraction reaches this value and repair work is pending.
+	// 0 disables the ratio trigger (the evict-then-insert cache keeps
+	// the ratio near zero in steady state; the trigger matters for
+	// delete-heavy external drivers).
+	TombstoneRatio float64
+}
+
+func (m *MaintenanceOptions) fillDefaults() {
+	if m.Every == 0 {
+		m.Every = 64
+	}
+	if m.Budget == 0 {
+		m.Budget = 16
+	}
 }
 
 func (o *IndexedOptions) fillDefaults() {
@@ -47,6 +90,9 @@ func (o *IndexedOptions) fillDefaults() {
 	}
 	if o.EfSearch == 0 {
 		o.EfSearch = 48
+	}
+	if o.Maintenance != nil {
+		o.Maintenance.fillDefaults()
 	}
 }
 
@@ -64,6 +110,17 @@ func (o IndexedOptions) validate() error {
 	}
 	if o.EfSearch < 1 {
 		return fmt.Errorf("core: efSearch must be positive, got %d", o.EfSearch)
+	}
+	if m := o.Maintenance; m != nil {
+		if m.Every < 1 {
+			return fmt.Errorf("core: maintenance Every must be positive, got %d", m.Every)
+		}
+		if m.Budget < 1 {
+			return fmt.Errorf("core: maintenance Budget must be positive, got %d", m.Budget)
+		}
+		if m.TombstoneRatio < 0 || m.TombstoneRatio > 1 {
+			return fmt.Errorf("core: maintenance TombstoneRatio must be in [0,1], got %v", m.TombstoneRatio)
+		}
 	}
 	return nil
 }
@@ -95,9 +152,10 @@ type IndexedCache struct {
 	order   *list.List // eviction order; front = next to evict
 	stats   Stats
 
-	reranks    int64 // exact re-rank distance computations (graph path)
-	bruteScans int64 // lookups served by the sub-crossover linear scan
-	candBuf    []vec.Scored
+	reranks     int64 // exact re-rank distance computations (graph path)
+	bruteScans  int64 // lookups served by the sub-crossover linear scan
+	repairNanos int64 // cumulative time spent in scheduled maintenance passes
+	candBuf     []vec.Scored
 }
 
 type indexedEntry struct {
@@ -138,11 +196,12 @@ func NewIndexed(dim int, opts IndexedOptions) (*IndexedCache, error) {
 
 func (c *IndexedCache) newGraph() (*hnsw.Index, error) {
 	return hnsw.New(c.dim, c.opts.Metric, hnsw.Config{
-		M:              c.opts.M,
-		EfConstruction: c.opts.EfConstruction,
-		EfSearch:       c.opts.EfSearch,
-		Seed:           c.opts.Seed,
-		Quantized:      true,
+		M:                   c.opts.M,
+		EfConstruction:      c.opts.EfConstruction,
+		EfSearch:            c.opts.EfSearch,
+		Seed:                c.opts.Seed,
+		Quantized:           true,
+		DisableInEdgeRepair: c.opts.DisableInEdgeRepair,
 	})
 }
 
@@ -265,6 +324,51 @@ func (c *IndexedCache) PutWithTolerance(q vec.Vector, docs []int, tol float32) {
 	c.entries[id] = e
 	c.live++
 	c.stats.Puts++
+	c.maybeMaintainLocked()
+}
+
+// maybeMaintainLocked runs one budgeted repair pass when churn pressure
+// crosses the configured trigger. Called with c.mu held, so the pass is
+// serialized against every other graph mutation for free; the Budget cap
+// bounds how long this Put holds the lock.
+func (c *IndexedCache) maybeMaintainLocked() {
+	m := c.opts.Maintenance
+	if m == nil {
+		return
+	}
+	due := c.graph.ReusedSinceRepair() >= m.Every
+	if !due && m.TombstoneRatio > 0 {
+		due = c.graph.TombstoneRatio() >= m.TombstoneRatio && c.graph.PendingRepair() > 0
+	}
+	if !due {
+		return
+	}
+	start := time.Now()
+	c.graph.Repair(m.Budget)
+	d := time.Since(start)
+	c.repairNanos += int64(d)
+	c.opts.Telemetry.ObserveStage(telemetry.StageGraphRepair, d)
+}
+
+// Maintain runs repair passes until the graph's pending-repair queue is
+// drained or budget nodes have been examined (budget <= 0 drains fully).
+// Useful before a latency-sensitive phase or in tests; the scheduled
+// path (IndexedOptions.Maintenance) normally makes this unnecessary.
+func (c *IndexedCache) Maintain(budget int) hnsw.RepairStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if budget <= 0 {
+		budget = c.graph.PendingRepair()
+	}
+	if budget == 0 {
+		return hnsw.RepairStats{}
+	}
+	start := time.Now()
+	st := c.graph.Repair(budget)
+	d := time.Since(start)
+	c.repairNanos += int64(d)
+	c.opts.Telemetry.ObserveStage(telemetry.StageGraphRepair, d)
+	return st
 }
 
 func (c *IndexedCache) evictLocked() {
@@ -347,6 +451,25 @@ type IndexStats struct {
 	BruteScans int64 `json:"brute_scans"`
 	// Searches is the number of graph traversals performed.
 	Searches int64 `json:"searches"`
+
+	// ReusedSlots counts evicted slots recycled for new entries.
+	ReusedSlots int64 `json:"reused_slots,omitempty"`
+	// SeveredInEdges counts stale incoming edges cut at slot reuse.
+	SeveredInEdges int64 `json:"severed_in_edges,omitempty"`
+	// ReroutedInEdges counts severed edges replaced in place with an
+	// edge to the evictee's nearest surviving neighbor.
+	ReroutedInEdges int64 `json:"rerouted_in_edges,omitempty"`
+	// DroppedInRefs counts reverse refs lost to the per-slot bound;
+	// those edges survive the slot's next reuse untracked.
+	DroppedInRefs int64 `json:"dropped_in_refs,omitempty"`
+	// RepairPasses / RepairedNodes count incremental maintenance passes
+	// and the neighborhoods they re-linked.
+	RepairPasses  int64 `json:"repair_passes,omitempty"`
+	RepairedNodes int64 `json:"repaired_nodes,omitempty"`
+	// PendingRepair is the current depth of the repair queue.
+	PendingRepair int `json:"pending_repair,omitempty"`
+	// RepairNanos is the cumulative wall time spent in maintenance.
+	RepairNanos int64 `json:"repair_nanos,omitempty"`
 }
 
 // Merge accumulates other into s (used by sharded aggregation).
@@ -358,6 +481,14 @@ func (s *IndexStats) Merge(other IndexStats) {
 	s.Reranks += other.Reranks
 	s.BruteScans += other.BruteScans
 	s.Searches += other.Searches
+	s.ReusedSlots += other.ReusedSlots
+	s.SeveredInEdges += other.SeveredInEdges
+	s.ReroutedInEdges += other.ReroutedInEdges
+	s.DroppedInRefs += other.DroppedInRefs
+	s.RepairPasses += other.RepairPasses
+	s.RepairedNodes += other.RepairedNodes
+	s.PendingRepair += other.PendingRepair
+	s.RepairNanos += other.RepairNanos
 }
 
 // IndexStatser is implemented by caches backed by a graph index; the
@@ -372,14 +503,23 @@ var _ IndexStatser = (*IndexedCache)(nil)
 func (c *IndexedCache) IndexStats() IndexStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	m := c.graph.Maintenance()
 	return IndexStats{
-		Nodes:      c.live,
-		Slots:      c.graph.Slots(),
-		Tombstones: c.graph.Tombstones(),
-		GraphHops:  c.graph.Hops(),
-		Reranks:    c.reranks,
-		BruteScans: c.bruteScans,
-		Searches:   c.graph.Searches(),
+		Nodes:           c.live,
+		Slots:           c.graph.Slots(),
+		Tombstones:      c.graph.Tombstones(),
+		GraphHops:       c.graph.Hops(),
+		Reranks:         c.reranks,
+		BruteScans:      c.bruteScans,
+		Searches:        c.graph.Searches(),
+		ReusedSlots:     m.ReusedSlots,
+		SeveredInEdges:  m.SeveredInEdges,
+		ReroutedInEdges: m.ReroutedInEdges,
+		DroppedInRefs:   m.DroppedInRefs,
+		RepairPasses:    m.RepairPasses,
+		RepairedNodes:   m.RepairedNodes,
+		PendingRepair:   m.PendingRepair,
+		RepairNanos:     c.repairNanos,
 	}
 }
 

@@ -17,8 +17,19 @@
 // candidates by asymmetric int8 distances (vec.Quantized), streaming one
 // byte per dimension instead of four through the beam's inner loop.
 //
-// Insert and Delete must be externally serialized (the cache holds its
-// own lock); Search is safe for concurrent use between mutations.
+// Slot reuse is where churn used to erode recall: edges built toward the
+// evicted vector kept pointing at the slot after an unrelated vector
+// moved in, silently mis-routing traversal. The index now tracks a
+// bounded reverse-edge (in-neighbor) list per slot, so reuse severs every
+// stale in-edge — re-routing each pointing node to the evictee's nearest
+// surviving out-neighbor when it has room — and the recycled slot is
+// re-linked bidirectionally at its freshly drawn level. Neighborhoods
+// that lost an edge without a replacement queue for Repair, the
+// incremental background pass that re-links them in small batches.
+//
+// Insert, Delete, and Repair must be externally serialized (the cache
+// holds its own lock); Search is safe for concurrent use between
+// mutations.
 package hnsw
 
 import (
@@ -50,6 +61,13 @@ type Config struct {
 	// (the graph is built once, searched many times), and the exact
 	// float32 vectors remain available through Vector for re-ranking.
 	Quantized bool
+	// DisableInEdgeRepair turns off reverse-edge tracking and the
+	// sever/re-route pass on slot reuse — the pre-repair behavior, in
+	// which edges built toward an evicted vector keep routing traversal
+	// to whatever vector reuses its slot. Kept only so the churn
+	// experiment can measure the repair machinery's cost and recall
+	// value against the legacy graph; leave it off in production.
+	DisableInEdgeRepair bool
 }
 
 func (c *Config) fillDefaults() {
@@ -98,6 +116,29 @@ type Index struct {
 	base  [][]int         // base[node] = neighbor ids
 	upper []map[int][]int // upper[l-1][node] = neighbor ids at layer l
 
+	// inEdges[v] tracks which (node, layer) pairs currently list v as a
+	// neighbor, bounded at inBound refs per slot, so slot reuse can
+	// sever the edges aimed at the evicted vector instead of leaving
+	// them mis-routing traversal. nil when Config.DisableInEdgeRepair.
+	inEdges [][]inRef
+	inBound int
+
+	// dirty queues nodes whose neighborhood degraded (an edge severed
+	// with no replacement available) for the incremental Repair pass;
+	// dirtySet deduplicates membership.
+	dirty    []int
+	dirtySet []bool
+
+	// Churn-pressure and repair counters (mutation-path, so plain ints
+	// under the caller's serialization).
+	reused            int64 // slots recycled by allocSlot
+	reusedSinceRepair int   // reset by Repair; the maintenance trigger
+	severed           int64 // stale in-edges removed at reuse
+	rerouted          int64 // severed edges replaced with a live target
+	droppedRefs       int64 // in-edge refs lost to the per-slot bound
+	repairPasses      int64
+	repairedNodes     int64
+
 	entry    int // entry point node, -1 when no live node exists
 	maxLevel int
 
@@ -125,13 +166,14 @@ func New(dim int, metric vec.Metric, cfg Config) (*Index, error) {
 		return nil, fmt.Errorf("hnsw: dimension must be positive, got %d", dim)
 	}
 	return &Index{
-		cfg:    cfg,
-		dim:    dim,
-		metric: metric,
-		dist:   metric.Func(),
-		rng:    vec.NewRand(cfg.Seed),
-		mult:   1 / math.Log(float64(cfg.M)),
-		entry:  -1,
+		cfg:     cfg,
+		dim:     dim,
+		metric:  metric,
+		dist:    metric.Func(),
+		rng:     vec.NewRand(cfg.Seed),
+		mult:    1 / math.Log(float64(cfg.M)),
+		inBound: 4 * cfg.M,
+		entry:   -1,
 	}, nil
 }
 
@@ -226,13 +268,32 @@ func (ix *Index) Delete(id int) error {
 }
 
 // resetEntry re-elects the entry point after the current one was
-// tombstoned: the live node on the highest layer. O(n), but only paid
-// when the single entry node itself is deleted.
+// tombstoned. The old entry's own neighbor lists are tried first — its
+// top-layer neighbors are the highest-level nodes the graph knows about,
+// and scanning them is O(levels·M) — so eviction patterns that
+// repeatedly hit the entry no longer pay an O(n) sweep per Delete. The
+// full scan remains as the fallback when every listed neighbor is
+// tombstoned. The elected node's level may undercut the true global
+// maximum (its seniors stay reachable through layer 0, and a later
+// higher-level insert re-takes the top), which both paths accept:
+// maxLevel tracks the entry, not the population.
 func (ix *Index) resetEntry() {
+	old := ix.entry
 	best, bestLevel := -1, -1
-	for i := range ix.vectors {
-		if !ix.deleted[i] && ix.levels[i] > bestLevel {
-			best, bestLevel = i, ix.levels[i]
+	if old >= 0 {
+		for l := ix.levels[old]; l >= 0; l-- {
+			for _, n := range ix.neighbors(old, l) {
+				if !ix.deleted[n] && ix.levels[n] > bestLevel {
+					best, bestLevel = n, ix.levels[n]
+				}
+			}
+		}
+	}
+	if best < 0 {
+		for i := range ix.vectors {
+			if !ix.deleted[i] && ix.levels[i] > bestLevel {
+				best, bestLevel = i, ix.levels[i]
+			}
 		}
 	}
 	ix.entry = best
@@ -274,30 +335,180 @@ func (ix *Index) setNeighbors(node, layer int, ns []int) {
 	ix.upper[layer-1][node] = ns
 }
 
-// clearNeighbors drops a slot's outgoing edges at every layer before the
-// slot is reused. Incoming edges from old neighbors are left in place:
-// they now lead to the slot's new vector, which is merely a different
-// (still valid) traversal hint, and churn keeps refreshing them.
-func (ix *Index) clearNeighbors(node int) {
-	if node < len(ix.base) {
-		ix.base[node] = nil
+// inRef records one tracked incoming edge: refs[v] holds (node, layer)
+// pairs whose adjacency list at that layer contains v.
+type inRef struct {
+	node  int32
+	layer int32
+}
+
+// trackInEdges reports whether reverse-edge bookkeeping is on.
+func (ix *Index) trackInEdges() bool { return !ix.cfg.DisableInEdgeRepair }
+
+// addInEdge records the edge from→to at layer. Upper-layer refs are
+// always tracked: a stale upper edge mis-routes the greedy descent
+// itself (the costliest failure) and there are few of them — layer-l
+// edges originate from the ~n/2^l nodes of level ≥ l, each with
+// out-degree ≤ M. Base-layer refs are bounded at inBound per slot; on
+// overflow the new ref is dropped and counted, and that edge simply
+// survives the slot's next reuse untracked (the wide layer-0 beam
+// tolerates a few stale edges; the descent does not).
+func (ix *Index) addInEdge(to, from, layer int) {
+	if !ix.trackInEdges() {
+		return
 	}
-	for l := range ix.upper {
-		delete(ix.upper[l], node)
+	refs := ix.inEdges[to]
+	if layer == 0 && len(refs) >= ix.inBound {
+		ix.droppedRefs++
+		return
+	}
+	ix.inEdges[to] = append(refs, inRef{node: int32(from), layer: int32(layer)})
+}
+
+// removeInEdge forgets the tracked edge from→to at layer (swap-remove;
+// missing refs — dropped at the bound — are ignored).
+func (ix *Index) removeInEdge(to, from, layer int) {
+	if !ix.trackInEdges() {
+		return
+	}
+	refs := ix.inEdges[to]
+	for i, r := range refs {
+		if r.node == int32(from) && r.layer == int32(layer) {
+			refs[i] = refs[len(refs)-1]
+			ix.inEdges[to] = refs[:len(refs)-1]
+			return
+		}
 	}
 }
 
-// allocSlot claims a slot for v: a tombstoned one when available
-// (clearing its stale adjacency), a fresh append otherwise.
+// markDirty queues a node whose neighborhood degraded for Repair.
+func (ix *Index) markDirty(u int) {
+	for len(ix.dirtySet) <= u {
+		ix.dirtySet = append(ix.dirtySet, false)
+	}
+	if !ix.dirtySet[u] {
+		ix.dirtySet[u] = true
+		ix.dirty = append(ix.dirty, u)
+	}
+}
+
+// severInEdges repairs the graph around a slot that is about to be
+// reused: every tracked edge that pointed at the evicted vector is
+// removed from its owner's adjacency list, and where possible re-routed
+// in place to the evictee's old out-neighbor closest to the pointing
+// node — preserving connectivity through the region the evictee used to
+// bridge. Owners left short an edge are queued for Repair. Must run
+// before clearNeighbors (it reads the evictee's old out-edges as
+// re-route candidates).
+func (ix *Index) severInEdges(id int) {
+	if !ix.trackInEdges() {
+		return
+	}
+	refs := ix.inEdges[id]
+	ix.inEdges[id] = refs[:0]
+	// Rank the evictee's surviving out-neighbors by proximity to the
+	// evicted vector once per layer; every severed edge at that layer
+	// re-routes from this list with no further distance work. The
+	// replacement sits near the hole the eviction leaves — which is
+	// where the severed edges were aimed — so routing toward that
+	// region survives. (An earlier version picked the candidate nearest
+	// each in-neighbor instead: marginally better edges, but O(in-degree
+	// × out-degree) distance computations per reuse, which showed up as
+	// >20% Put overhead under heavy churn.)
+	var ranked [][]int
+	for _, r := range refs {
+		u, l := int(r.node), int(r.layer)
+		ns := ix.neighbors(u, l)
+		i := slices.Index(ns, id)
+		if i < 0 {
+			continue
+		}
+		ix.severed++
+		if ranked == nil {
+			ranked = ix.rankSurvivors(id)
+		}
+		if w := rerouteTarget(ranked, u, l, ns); w >= 0 {
+			ns[i] = w
+			ix.addInEdge(w, u, l)
+			ix.rerouted++
+			continue
+		}
+		ns[i] = ns[len(ns)-1]
+		ix.setNeighbors(u, l, ns[:len(ns)-1])
+		ix.markDirty(u)
+	}
+}
+
+// rankSurvivors orders the evictee's live out-neighbors at each of its
+// layers by distance to the evicted vector (still resident in
+// vectors[id] at sever time), nearest first.
+func (ix *Index) rankSurvivors(id int) [][]int {
+	ranked := make([][]int, ix.levels[id]+1)
+	old := ix.vectors[id]
+	for l := range ranked {
+		ns := ix.neighbors(id, l)
+		scored := make([]vec.Scored, 0, len(ns))
+		for _, w := range ns {
+			if ix.deleted[w] {
+				continue
+			}
+			scored = append(scored, vec.Scored{ID: w, Dist: ix.dist(old, ix.vectors[w])})
+		}
+		ranked[l] = vec.IDs(vec.TopK(scored, len(scored)))
+	}
+	return ranked
+}
+
+// rerouteTarget picks the replacement for a severed edge u→id at layer:
+// the best-ranked survivor u is not already linked to. Returns -1 when
+// no candidate qualifies (the edge is then dropped and u queued for
+// repair).
+func rerouteTarget(ranked [][]int, u, layer int, uNeighbors []int) int {
+	if layer >= len(ranked) {
+		return -1
+	}
+	for _, w := range ranked[layer] {
+		if w != u && !slices.Contains(uNeighbors, w) {
+			return w
+		}
+	}
+	return -1
+}
+
+// clearNeighbors drops a slot's outgoing edges at every layer (and their
+// reverse refs) before the slot is reused.
+func (ix *Index) clearNeighbors(node int) {
+	if node < len(ix.base) {
+		for _, n := range ix.base[node] {
+			ix.removeInEdge(n, node, 0)
+		}
+		ix.base[node] = nil
+	}
+	for l := range ix.upper {
+		if ns, ok := ix.upper[l][node]; ok {
+			for _, n := range ns {
+				ix.removeInEdge(n, node, l+1)
+			}
+			delete(ix.upper[l], node)
+		}
+	}
+}
+
+// allocSlot claims a slot for v: a tombstoned one when available — after
+// severing the stale edges still aimed at its previous occupant and
+// clearing its old adjacency — or a fresh append otherwise.
 func (ix *Index) allocSlot(v vec.Vector, level int) int {
 	if n := len(ix.free); n > 0 {
 		id := ix.free[n-1]
 		ix.free = ix.free[:n-1]
+		ix.severInEdges(id)
 		ix.clearNeighbors(id)
 		ix.vectors[id] = v
 		ix.levels[id] = level
 		ix.deleted[id] = false
 		ix.numDel--
+		ix.reused++
+		ix.reusedSinceRepair++
 		if ix.cfg.Quantized {
 			ix.codes[id] = vec.Quantize(v)
 		}
@@ -307,6 +518,9 @@ func (ix *Index) allocSlot(v vec.Vector, level int) int {
 	ix.vectors = append(ix.vectors, v)
 	ix.levels = append(ix.levels, level)
 	ix.deleted = append(ix.deleted, false)
+	if ix.trackInEdges() {
+		ix.inEdges = append(ix.inEdges, nil)
+	}
 	if ix.cfg.Quantized {
 		ix.codes = append(ix.codes, vec.Quantize(v))
 	}
@@ -348,6 +562,7 @@ func (ix *Index) insert(v vec.Vector) int {
 		ns := vec.IDs(selected)
 		ix.setNeighbors(id, l, ns)
 		for _, n := range ns {
+			ix.addInEdge(n, id, l)
 			ix.linkBack(n, id, l, m)
 		}
 		if len(candidates) > 0 {
@@ -362,17 +577,196 @@ func (ix *Index) insert(v vec.Vector) int {
 	return id
 }
 
+// RepairStats reports one incremental Repair pass.
+type RepairStats struct {
+	// Examined is the number of dirty nodes dequeued (budget-bounded).
+	Examined int
+	// Relinked is how many of those were live and had their
+	// neighborhoods rebuilt.
+	Relinked int
+}
+
+// MaintenanceStats is the churn-pressure and repair counter snapshot.
+type MaintenanceStats struct {
+	// ReusedSlots counts tombstoned slots recycled by Insert.
+	ReusedSlots int64
+	// SeveredInEdges counts stale incoming edges removed at reuse.
+	SeveredInEdges int64
+	// ReroutedInEdges counts severed edges replaced in place with the
+	// evictee's nearest surviving out-neighbor.
+	ReroutedInEdges int64
+	// DroppedInRefs counts reverse refs lost to the per-slot bound
+	// (those edges survive the slot's next reuse untracked).
+	DroppedInRefs int64
+	// RepairPasses and RepairedNodes count Repair invocations and the
+	// neighborhoods they rebuilt.
+	RepairPasses  int64
+	RepairedNodes int64
+	// PendingRepair is the dirty-queue depth awaiting a pass.
+	PendingRepair int
+	// ReusedSinceRepair is the churn-pressure trigger: slot reuses
+	// since the last Repair.
+	ReusedSinceRepair int
+}
+
+// Maintenance returns the churn-pressure and repair counters.
+func (ix *Index) Maintenance() MaintenanceStats {
+	return MaintenanceStats{
+		ReusedSlots:       ix.reused,
+		SeveredInEdges:    ix.severed,
+		ReroutedInEdges:   ix.rerouted,
+		DroppedInRefs:     ix.droppedRefs,
+		RepairPasses:      ix.repairPasses,
+		RepairedNodes:     ix.repairedNodes,
+		PendingRepair:     len(ix.dirty),
+		ReusedSinceRepair: ix.reusedSinceRepair,
+	}
+}
+
+// PendingRepair returns the dirty-queue depth: nodes whose neighborhood
+// lost an edge without a replacement, awaiting an incremental Repair.
+func (ix *Index) PendingRepair() int { return len(ix.dirty) }
+
+// ReusedSinceRepair returns the slot reuses since the last Repair pass —
+// the churn-pressure signal maintenance schedules on.
+func (ix *Index) ReusedSinceRepair() int { return ix.reusedSinceRepair }
+
+// TombstoneRatio returns the deleted-awaiting-reuse fraction of all
+// slots (0 for an empty graph) — the second churn-pressure signal, for
+// delete-heavy workloads whose slots are not being recycled.
+func (ix *Index) TombstoneRatio() float64 {
+	if len(ix.vectors) == 0 {
+		return 0
+	}
+	return float64(ix.numDel) / float64(len(ix.vectors))
+}
+
+// Repair is the incremental background maintenance pass: it dequeues up
+// to budget nodes whose neighborhoods degraded (an in-edge severed at
+// slot reuse with no re-route available) and rebuilds each one's
+// adjacency with a construction-quality beam search, linking back
+// bidirectionally — the same work an insert would do, amortized over
+// small batches so no single Put stalls. Resets the reused-since-repair
+// pressure counter. Must be serialized with Insert/Delete, like every
+// mutation.
+func (ix *Index) Repair(budget int) RepairStats {
+	var st RepairStats
+	if budget <= 0 {
+		return st
+	}
+	ix.repairPasses++
+	ix.reusedSinceRepair = 0
+	for st.Examined < budget && len(ix.dirty) > 0 {
+		u := ix.dirty[len(ix.dirty)-1]
+		ix.dirty = ix.dirty[:len(ix.dirty)-1]
+		ix.dirtySet[u] = false
+		st.Examined++
+		if ix.deleted[u] || ix.entry < 0 || ix.Len() < 2 {
+			continue
+		}
+		ix.relink(u)
+		st.Relinked++
+	}
+	ix.repairedNodes += int64(st.Relinked)
+	return st
+}
+
+// relink rebuilds a live node's neighborhood at every layer it occupies:
+// a fresh construction search for its own vector, merged with whatever
+// healthy edges it still has, re-selecting the M best and linking new
+// neighbors back — an in-place re-insert that never moves the slot.
+func (ix *Index) relink(u int) {
+	ctx := searchCtx{ix: ix, q: ix.vectors[u]}
+	scr := ix.getScratch()
+	defer ix.putScratch(scr)
+	level := ix.levels[u]
+	ep := ix.entry
+	for l := ix.maxLevel; l > level; l-- {
+		ep = ix.greedyClosest(&ctx, ep, l)
+	}
+	for l := min(level, ix.maxLevel); l >= 0; l-- {
+		candidates := ix.searchLayer(&ctx, scr, ep, ix.cfg.EfConstruction, l, nil)
+		if len(candidates) > 0 {
+			ep = candidates[0].ID
+		}
+		// Merge search results with current neighbors (the search may
+		// miss a healthy existing edge), excluding u itself.
+		cur := ix.neighbors(u, l)
+		merged := make([]vec.Scored, 0, len(candidates)+len(cur))
+		for _, c := range candidates {
+			if c.ID != u {
+				merged = append(merged, c)
+			}
+		}
+		for _, n := range cur {
+			if n != u && !containsID(candidates, n) {
+				merged = append(merged, vec.Scored{ID: n, Dist: ctx.distTo(n)})
+			}
+		}
+		if len(merged) == 0 {
+			continue
+		}
+		ns := vec.IDs(vec.TopK(merged, ix.cfg.M))
+		ix.replaceNeighbors(u, l, ns)
+		m := ix.cfg.M
+		if l == 0 {
+			m = 2 * ix.cfg.M
+		}
+		for _, n := range ns {
+			if !slices.Contains(ix.neighbors(n, l), u) {
+				ix.linkBack(n, u, l, m)
+			}
+		}
+	}
+}
+
+// containsID reports whether the scored set mentions id.
+func containsID(s []vec.Scored, id int) bool {
+	for _, c := range s {
+		if c.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// replaceNeighbors swaps a node's adjacency at one layer for ns, keeping
+// the reverse refs consistent on both the dropped and the added edges.
+func (ix *Index) replaceNeighbors(node, layer int, ns []int) {
+	old := ix.neighbors(node, layer)
+	for _, o := range old {
+		if !slices.Contains(ns, o) {
+			ix.removeInEdge(o, node, layer)
+		}
+	}
+	for _, n := range ns {
+		if !slices.Contains(old, n) {
+			ix.addInEdge(n, node, layer)
+		}
+	}
+	ix.setNeighbors(node, layer, ns)
+}
+
 // linkBack adds id to node's neighbor list at the layer, pruning to the
-// mMax closest if the list overflows.
+// mMax closest if the list overflows. The new edge's reverse ref is
+// recorded, and pruned-out neighbors lose theirs, so reuse-time severing
+// never chases an edge that no longer exists.
 func (ix *Index) linkBack(node, id, layer, mMax int) {
 	ns := append(ix.neighbors(node, layer), id)
+	ix.addInEdge(id, node, layer)
 	if len(ns) > mMax {
 		scored := make([]vec.Scored, len(ns))
 		base := ix.vectors[node]
 		for i, n := range ns {
 			scored[i] = vec.Scored{ID: n, Dist: ix.dist(base, ix.vectors[n])}
 		}
-		ns = vec.IDs(vec.TopK(scored, mMax))
+		kept := vec.IDs(vec.TopK(scored, mMax))
+		for _, n := range ns {
+			if !slices.Contains(kept, n) {
+				ix.removeInEdge(n, node, layer)
+			}
+		}
+		ns = kept
 	}
 	ix.setNeighbors(node, layer, ns)
 }

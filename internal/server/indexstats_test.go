@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"proximity/internal/core"
@@ -93,5 +94,72 @@ func TestStatsIndexFields(t *testing.T) {
 	}
 	if st2.Index != nil {
 		t.Errorf("flat cache server emitted an index stats block: %+v", st2.Index)
+	}
+}
+
+// TestStatsIndexRepairFields churns an indexed cache past capacity and
+// checks the repair counters flow through /v1/stats and /metrics.
+func TestStatsIndexRepairFields(t *testing.T) {
+	const dim = 8
+	enc := embed.NewTokenHash(dim, 1)
+	db, err := vectordb.NewFlatIndex(dim, vec.L2Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(enc.Embed("seed doc")); err != nil {
+		t.Fatal(err)
+	}
+	cache, err := core.NewIndexed(dim, core.IndexedOptions{
+		Capacity:    32,
+		Tolerance:   0.3,
+		Seed:        19,
+		Maintenance: &core.MaintenanceOptions{Every: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := vec.NewRand(20)
+	for i := 0; i < 200; i++ {
+		cache.Put(vec.Scale(vec.RandomGaussian(rng, dim), 2), []int{i})
+	}
+	retr, err := core.NewCachedRetriever(cache, db, core.RetrieverOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Retriever: retr, Embedder: enc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Index == nil {
+		t.Fatal("index stats block missing")
+	}
+	if st.Index.ReusedSlots == 0 || st.Index.SeveredInEdges == 0 {
+		t.Fatalf("repair counters not surfaced: %+v", st.Index)
+	}
+	if st.Index.RepairPasses == 0 {
+		t.Fatalf("maintenance passes not surfaced: %+v", st.Index)
+	}
+	body, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{
+		"proximity_index_reused_slots_total",
+		"proximity_index_severed_in_edges_total",
+		"proximity_index_repair_passes_total",
+		"proximity_index_repaired_nodes_total",
+		"proximity_index_repair_pending",
+	} {
+		if !strings.Contains(body, metric) {
+			t.Errorf("/metrics missing %s", metric)
+		}
 	}
 }

@@ -150,6 +150,21 @@ func (s *Server) registerMetrics() {
 			reg.GaugeFunc("proximity_index_tombstones",
 				"Tombstoned (deleted, not yet reused) graph slots.",
 				func() float64 { return float64(is.IndexStats().Tombstones) })
+			reg.CounterFunc("proximity_index_reused_slots_total",
+				"Evicted graph slots recycled for new entries.",
+				func() float64 { return float64(is.IndexStats().ReusedSlots) })
+			reg.CounterFunc("proximity_index_severed_in_edges_total",
+				"Stale incoming edges cut at slot reuse.",
+				func() float64 { return float64(is.IndexStats().SeveredInEdges) })
+			reg.CounterFunc("proximity_index_repair_passes_total",
+				"Incremental graph-maintenance passes.",
+				func() float64 { return float64(is.IndexStats().RepairPasses) })
+			reg.CounterFunc("proximity_index_repaired_nodes_total",
+				"Degraded neighborhoods re-linked by maintenance.",
+				func() float64 { return float64(is.IndexStats().RepairedNodes) })
+			reg.GaugeFunc("proximity_index_repair_pending",
+				"Graph nodes queued for repair.",
+				func() float64 { return float64(is.IndexStats().PendingRepair) })
 		}
 	}
 	if bs, ok := ret.Searcher().(batchStatser); ok {
@@ -285,15 +300,25 @@ type StatsResponse struct {
 	Index *IndexStats `json:"index,omitempty"`
 }
 
-// IndexStats is the graph-index slice of the stats payload.
+// IndexStats is the graph-index slice of the stats payload. The repair
+// fields describe churn maintenance: slot-reuse in-edge severing plus
+// the incremental background re-link pass.
 type IndexStats struct {
-	Nodes      int   `json:"nodes"`
-	Slots      int   `json:"slots"`
-	Tombstones int   `json:"tombstones"`
-	GraphHops  int64 `json:"graphHops"`
-	Reranks    int64 `json:"reranks"`
-	BruteScans int64 `json:"bruteScans"`
-	Searches   int64 `json:"searches"`
+	Nodes           int   `json:"nodes"`
+	Slots           int   `json:"slots"`
+	Tombstones      int   `json:"tombstones"`
+	GraphHops       int64 `json:"graphHops"`
+	Reranks         int64 `json:"reranks"`
+	BruteScans      int64 `json:"bruteScans"`
+	Searches        int64 `json:"searches"`
+	ReusedSlots     int64 `json:"reusedSlots"`
+	SeveredInEdges  int64 `json:"severedInEdges"`
+	ReroutedInEdges int64 `json:"reroutedInEdges"`
+	DroppedInRefs   int64 `json:"droppedInRefs"`
+	RepairPasses    int64 `json:"repairPasses"`
+	RepairedNodes   int64 `json:"repairedNodes"`
+	PendingRepair   int   `json:"pendingRepair"`
+	RepairNanos     int64 `json:"repairNanos"`
 }
 
 // RebalanceStats is the adaptive-rebalancing slice of the stats payload.
@@ -643,13 +668,21 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if is, ok := cache.(core.IndexStatser); ok {
 		if st := is.IndexStats(); st != (core.IndexStats{}) {
 			resp.Index = &IndexStats{
-				Nodes:      st.Nodes,
-				Slots:      st.Slots,
-				Tombstones: st.Tombstones,
-				GraphHops:  st.GraphHops,
-				Reranks:    st.Reranks,
-				BruteScans: st.BruteScans,
-				Searches:   st.Searches,
+				Nodes:           st.Nodes,
+				Slots:           st.Slots,
+				Tombstones:      st.Tombstones,
+				GraphHops:       st.GraphHops,
+				Reranks:         st.Reranks,
+				BruteScans:      st.BruteScans,
+				Searches:        st.Searches,
+				ReusedSlots:     st.ReusedSlots,
+				SeveredInEdges:  st.SeveredInEdges,
+				ReroutedInEdges: st.ReroutedInEdges,
+				DroppedInRefs:   st.DroppedInRefs,
+				RepairPasses:    st.RepairPasses,
+				RepairedNodes:   st.RepairedNodes,
+				PendingRepair:   st.PendingRepair,
+				RepairNanos:     st.RepairNanos,
 			}
 		}
 	}

@@ -90,3 +90,42 @@ func TestShardedFlatIndexStatsZero(t *testing.T) {
 		t.Fatalf("flat shards reported index stats: %+v", is)
 	}
 }
+
+// TestShardedIndexedRepairStatsAcrossReseed churns a sharded indexed
+// cache so sub-caches reuse slots and run maintenance, then verifies the
+// aggregated repair counters survive a Reseed migration (the per-shard
+// graph counters are cumulative, so aggregation only grows).
+func TestShardedIndexedRepairStatsAcrossReseed(t *testing.T) {
+	c, err := NewIndexed(8, 4, core.IndexedOptions{
+		Capacity:    80,
+		Tolerance:   0.3,
+		Seed:        5,
+		Maintenance: &core.MaintenanceOptions{Every: 8},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := vec.NewRand(45)
+	for i := 0; i < 600; i++ {
+		c.Put(vec.Scale(vec.RandomGaussian(rng, 8), 2), []int{i})
+	}
+	before := c.IndexStats()
+	if before.ReusedSlots == 0 || before.SeveredInEdges == 0 {
+		t.Fatalf("churn did not drive slot reuse across shards: %+v", before)
+	}
+	if before.RepairPasses == 0 {
+		t.Fatalf("scheduled maintenance never ran: %+v", before)
+	}
+	mig, err := c.Reseed(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.Moved == 0 {
+		t.Fatal("reseed moved nothing; migration not exercised")
+	}
+	after := c.IndexStats()
+	if after.ReusedSlots < before.ReusedSlots || after.SeveredInEdges < before.SeveredInEdges ||
+		after.RepairPasses < before.RepairPasses || after.RepairedNodes < before.RepairedNodes {
+		t.Fatalf("repair counters regressed across Reseed:\nbefore %+v\nafter  %+v", before, after)
+	}
+}

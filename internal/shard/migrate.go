@@ -241,6 +241,9 @@ func (c *ShardedCache) Reseed(seed uint64) (Migration, error) {
 			retired := s.cache.Stats()
 			retired.Puts -= int64(len(stay)) // re-inserts are not client traffic
 			s.base = addStats(s.base, retired)
+			if is, ok := s.cache.(core.IndexStatser); ok {
+				s.indexBase.Merge(retireIndexStats(is.IndexStats()))
+			}
 			s.cache = fresh[i]
 		}
 		s.mu.Unlock()

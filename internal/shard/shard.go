@@ -118,6 +118,12 @@ type slot struct {
 	// totals; a slot's externally visible counters are always
 	// base + cache.Stats().
 	base core.Stats
+	// indexBase folds in the cumulative graph counters (traversal work,
+	// slot-reuse repair, maintenance passes) of retired graph-indexed
+	// sub-cache generations; gauges (Nodes, Slots, Tombstones,
+	// PendingRepair) describe only the live generation and are never
+	// folded.
+	indexBase core.IndexStats
 }
 
 // stats returns the slot's externally visible counters.
@@ -495,12 +501,24 @@ func (c *ShardedCache) IndexStats() core.IndexStats {
 	for i := range c.slots {
 		s := &c.slots[i]
 		s.mu.RLock()
+		agg.Merge(s.indexBase)
 		if is, ok := s.cache.(core.IndexStatser); ok {
 			agg.Merge(is.IndexStats())
 		}
 		s.mu.RUnlock()
 	}
 	return agg
+}
+
+// retireIndexStats reduces a retired sub-cache generation's IndexStats to
+// its cumulative counters: the gauges describe state that the replacement
+// generation owns now, so carrying them forward would double-count.
+func retireIndexStats(is core.IndexStats) core.IndexStats {
+	is.Nodes = 0
+	is.Slots = 0
+	is.Tombstones = 0
+	is.PendingRepair = 0
+	return is
 }
 
 // Clear removes all entries from every shard (counters are preserved by

@@ -21,6 +21,7 @@ const (
 	StageBatchQueue                // dwell in the batch collector before flush
 	StageDBSearch                  // vector DB search (single or batched)
 	StageNodeRPC                   // HTTP round trip to a cluster shard node
+	StageGraphRepair               // incremental HNSW maintenance pass (hnsw.Repair)
 	numStages
 )
 
@@ -32,6 +33,7 @@ var stageNames = [numStages]string{
 	"batch_queue",
 	"db_search",
 	"node_rpc",
+	"graph_repair",
 }
 
 // String returns the stage's label ("cache_lookup", ...).

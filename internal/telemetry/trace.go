@@ -21,13 +21,17 @@ const (
 // Span is one timed stage within a trace. Offset is relative to the
 // trace's start on the recording process's clock; cross-node spans carry
 // their own node label and are aligned only approximately (no clock
-// sync), which is fine for attribution.
+// sync), which is fine for attribution. Link, when nonzero, is the ID of
+// a *different* trace this span's time is attributable to — a coalesce
+// follower's wait links to the leader's trace, so leader traces remain
+// discoverable from every request they served.
 type Span struct {
 	Stage  Stage         `json:"stage"`
 	Node   string        `json:"node,omitempty"`
 	Offset time.Duration `json:"offset_ns"`
 	Dur    time.Duration `json:"dur_ns"`
 	Err    string        `json:"err,omitempty"`
+	Link   uint64        `json:"link,omitempty"`
 }
 
 // Trace accumulates the spans of one sampled request. Traces are pooled;
@@ -61,6 +65,18 @@ func (t *Trace) StartSpan(stage Stage) func(err error) {
 // remote hop records which node it called, while the node's own spans
 // (grafted via AddSpans) are labeled by the router on arrival.
 func (t *Trace) StartSpanNode(stage Stage, node string) func(err error) {
+	return t.startSpan(stage, node, 0)
+}
+
+// StartSpanLinked is StartSpan with a link to another trace: the span's
+// time is attributed to the linked trace's work (a coalesce follower's
+// wait links to the leader that ran the search). A zero link behaves
+// exactly like StartSpan.
+func (t *Trace) StartSpanLinked(stage Stage, link uint64) func(err error) {
+	return t.startSpan(stage, "", link)
+}
+
+func (t *Trace) startSpan(stage Stage, node string, link uint64) func(err error) {
 	if t == nil {
 		return finishNoop
 	}
@@ -78,6 +94,7 @@ func (t *Trace) StartSpanNode(stage Stage, node string) func(err error) {
 			Offset: begin.Sub(t.start),
 			Dur:    end.Sub(begin),
 			Err:    msg,
+			Link:   link,
 		})
 		t.mu.Unlock()
 	}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 )
@@ -175,4 +176,43 @@ func TestAddSpansGraft(t *testing.T) {
 		t.Errorf("grafted span = %+v", spans[1])
 	}
 	trace.Finish()
+}
+
+func TestStartSpanLinked(t *testing.T) {
+	tr := NewTracer(1, 4)
+	_, leader := tr.Start(context.Background())
+	_, follower := tr.Start(context.Background())
+	follower.StartSpanLinked(StageCoalesceWait, leader.ID())(nil)
+	follower.StartSpanLinked(StageCacheLookup, 0)(nil)
+	spans := follower.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Link != leader.ID() || leader.ID() == 0 {
+		t.Errorf("linked span Link = %d, want leader %d", spans[0].Link, leader.ID())
+	}
+	if spans[1].Link != 0 {
+		t.Errorf("zero-link span carries Link = %d", spans[1].Link)
+	}
+	// The link must survive the wire codec, and a zero link must be
+	// omitted from the JSON entirely.
+	s, err := MarshalSpans(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalSpans(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Link != leader.ID() {
+		t.Errorf("link lost in codec: %+v", out[0])
+	}
+	if strings.Count(s, `"link"`) != 1 {
+		t.Errorf("zero link should be omitted from JSON: %s", s)
+	}
+	// Nil traces stay no-ops.
+	var nilTrace *Trace
+	nilTrace.StartSpanLinked(StageCoalesceWait, 7)(nil)
+	follower.Finish()
+	leader.Finish()
 }

@@ -155,13 +155,36 @@
 //     depends on bucket geometry — near-τ pairs can land in different
 //     buckets, and fixed-capacity buckets evict under skew.
 //   - INDEXED: sublinear lookups with near-flat hit quality (recall is
-//     tunable via IndexedOptions.EfSearch); graph maintenance makes
-//     Puts ~10-50x costlier than FLAT's, so it fits read-heavy caches
-//     of 10k+ entries — the regime the paper's middleware serves.
+//     tunable via IndexedOptions.EfSearch); graph upkeep makes Puts
+//     ~10-50x costlier than FLAT's, so it fits read-heavy caches of
+//     10k+ entries — the regime the paper's middleware serves.
 //     NewShardedIndexedCache composes it with sharding for concurrency.
 //
+// Under sustained churn (evictions recycling graph slots), the indexed
+// cache repairs stale incoming edges at reuse time automatically, and
+// IndexedOptions.Maintenance opts into an incremental background repair
+// pass that re-links degraded neighborhoods as churn pressure builds:
+//
+//	cache, _ := proximity.NewIndexedCache(768, proximity.IndexedOptions{
+//		Capacity: 1_000_000, Tolerance: 5,
+//		Maintenance: &proximity.MaintenanceOptions{},
+//	})
+//
+// The zero value schedules a repair pass every Every=64 reused slots,
+// re-linking up to Budget=16 queued nodes per pass (each pass runs
+// inline under the cache lock, so Budget bounds the pause an unlucky
+// Put absorbs); TombstoneRatio (default off) additionally triggers when
+// deleted-but-unlinked slots exceed that fraction of the graph. With
+// maintenance on, post-churn self-recall stays within 2% of a freshly
+// rebuilt graph even after churning 5x the capacity (see the committed
+// BENCH_churn.json), at a few percent of Put throughput. Workloads that
+// churn the whole cache many times over between lookups amortize the
+// graph poorly regardless — prefer FLAT (or LSH at scale) when writes
+// dominate reads.
+//
 // `proximity-bench -experiment annindex` measures the three variants
-// head-to-head and writes the comparison to a BENCH_*.json file.
+// head-to-head, `-experiment churn` measures recall decay and repair
+// under eviction churn, and both write BENCH_*.json files.
 //
 // # Observability
 //
@@ -248,6 +271,9 @@ type (
 	IndexedCache = core.IndexedCache
 	// IndexedOptions configures an IndexedCache.
 	IndexedOptions = core.IndexedOptions
+	// MaintenanceOptions tunes the indexed cache's background graph
+	// repair (IndexedOptions.Maintenance).
+	MaintenanceOptions = core.MaintenanceOptions
 	// IndexStats describe the graph behind an indexed cache.
 	IndexStats = core.IndexStats
 	// Retriever is the cache-in-front-of-database retrieval path.
