@@ -13,12 +13,14 @@
 //	    [-overhead-rounds R] [-bench-out PATH]
 //	proximity-bench -experiment churn [-churn-capacity N] [-churn-mults M1,M2]
 //	    [-churn-queries Q] [-bench-out PATH]
+//	proximity-bench -experiment tiered [-tier-hot N] [-tier-ratios R1,R2]
+//	    [-tier-queries Q] [-tier-dim D] [-bench-out PATH]
 //
 // where LIST is a comma-separated subset of
 // fig2,fig3,fig6-mmlu,fig6-medrag,fig7,fig8,fig9,fig10,fig11,fig12,opcount,
-// loadtest,rebalance,annindex,overhead,churn or "all" (default: every
-// figure; loadtest, rebalance, annindex, overhead, and churn run only when
-// named).
+// loadtest,rebalance,annindex,overhead,churn,tiered or "all" (default:
+// every figure; loadtest, rebalance, annindex, overhead, churn, and
+// tiered run only when named).
 // Results print to stdout; redirect to a file to keep them. The -quick
 // flag switches to the CI-sized configuration.
 //
@@ -54,6 +56,13 @@
 // disabled, enabled, and enabled plus scheduled maintenance, each scored
 // against a freshly rebuilt graph over the identical resident set. It
 // writes the result to -bench-out (default BENCH_churn.json).
+//
+// The tiered experiment A/B-tests the hot/warm cache hierarchy against a
+// single-tier FLAT cache of the same hot capacity at the hot:warm ratios
+// given by -tier-ratios: hit-rate uplift from the retained warm history,
+// hot-path latency tax, warm pruning effectiveness, and hit-rate
+// recovery across a snapshot-restore restart. It writes the result to
+// -bench-out (default BENCH_tiered.json).
 package main
 
 import (
@@ -125,6 +134,10 @@ func run(args []string) error {
 		churnCap     = fs.Int("churn-capacity", 0, "churn: cache capacity under eviction churn (0 = default 2000)")
 		churnMults   = fs.String("churn-mults", "", "churn: comma-separated churn multiples (default 1,2,5)")
 		churnQueries = fs.Int("churn-queries", 0, "churn: near-duplicate lookups per variant (0 = default)")
+		tierHot      = fs.Int("tier-hot", 0, "tiered: hot-tier / single-tier baseline capacity (0 = default 1000)")
+		tierRatios   = fs.String("tier-ratios", "", "tiered: comma-separated warm:hot ratios (default 4,16)")
+		tierQueries  = fs.Int("tier-queries", 0, "tiered: lookups per query path per variant (0 = default)")
+		tierDim      = fs.Int("tier-dim", 0, "tiered: embedding dimensionality (0 = default 768)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -192,6 +205,30 @@ func run(args []string) error {
 		out := *benchOut
 		if out == "" {
 			out = "BENCH_churn.json"
+		}
+		if err := writeBenchJSON(out, res); err != nil {
+			return nil, err
+		}
+		fmt.Printf("wrote %s\n", out)
+		return res, nil
+	}})
+	available = append(available, figure{"tiered", func(s *experiments.Suite) (renderer, error) {
+		ratios, err := parseEntryCounts(*tierRatios)
+		if err != nil {
+			return nil, fmt.Errorf("bad -tier-ratios: %w", err)
+		}
+		res, err := experiments.Tiered(experiments.TieredOptions{
+			Hot:     *tierHot,
+			Ratios:  ratios,
+			Dim:     *tierDim,
+			Queries: *tierQueries,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_tiered.json"
 		}
 		if err := writeBenchJSON(out, res); err != nil {
 			return nil, err

@@ -9,6 +9,7 @@
 //	                 [-capacity 200] [-bits 8] [-policy lru|fifo]
 //	                 [-topics 20] [-docs-per-topic 20] [-dim 768]
 //	                 [-shards N] [-rebalance-threshold T]
+//	                 [-tier-warm N] [-tier-dir PATH] [-snapshot PATH]
 //	                 [-trace-sample N] [-pprof] [-log-level info]
 //	proximity-server -node [-addr :8081] ...
 //	proximity-server -peers http://h1:8081,http://h2:8081 [-replicas 2]
@@ -45,6 +46,24 @@
 // hash arcs off overloaded shard nodes. /v1/rebalance triggers one
 // action manually; the stats payload carries the controller counters.
 //
+// # Tiered cache and warm restart
+//
+// -tier-warm N layers a memory-mapped warm tier of N entries under the
+// hot cache (-capacity entries of the -cache variant): hot evictions
+// demote into the warm tier instead of being discarded, and — under LRU —
+// a warm hit promotes its entry back into the hot tier. Admission
+// semantics are unchanged; only more history is retained. -tier-dir
+// places the warm record file (system temp by default; the file is
+// unlinked while open, so nothing survives a crash).
+//
+// -snapshot PATH arms warm restarts: the cache contents load from PATH at
+// startup (a missing snapshot is fine) and are written back crash-safely
+// on SIGTERM/SIGINT, so a restarted server resumes near its previous hit
+// rate instead of cold. With -shards, PATH is a directory holding one
+// snapshot file per shard; otherwise it is a single file. Snapshots are
+// variant-agnostic — they replay through the live cache configuration, so
+// the cache kind, tiering, or shard count may change across the restart.
+//
 // # Cluster deployment
 //
 // A distributed cache tier runs one -node middleware per shard host plus
@@ -58,12 +77,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"io/fs"
 	"log"
 	"log/slog"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"proximity/internal/cluster"
 	"proximity/internal/core"
@@ -72,6 +97,7 @@ import (
 	"proximity/internal/server"
 	"proximity/internal/shard"
 	"proximity/internal/telemetry"
+	"proximity/internal/tier"
 	"proximity/internal/vec"
 	"proximity/internal/vectordb"
 )
@@ -106,6 +132,11 @@ func run(args []string) error {
 		shards    = fs.Int("shards", 0, "partition the cache across N independently-locked shards (0 = unsharded)")
 		rebThresh = fs.Float64("rebalance-threshold", 0,
 			"adaptive rebalancing: act when imbalance stays above this (> 1; 0 = off; needs -shards or -peers)")
+		tierWarm = fs.Int("tier-warm", 0,
+			"layer a memory-mapped warm tier of N entries under the hot cache (0 = single tier)")
+		tierDir  = fs.String("tier-dir", "", "directory for warm-tier record files (default: system temp)")
+		snapPath = fs.String("snapshot", "",
+			"cache snapshot loaded at startup and written on SIGTERM/SIGINT (a file, or a directory with -shards)")
 		traceSample = fs.Int("trace-sample", 0, "sample 1 in N requests into a per-stage trace served at /v1/traces (0 = off)")
 		traceRing   = fs.Int("trace-ring", 0, "sampled traces kept for /v1/traces (0 = default 64)")
 		pprofOn     = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
@@ -155,6 +186,30 @@ func run(args []string) error {
 	if *shards > 0 && *cacheKind == "none" {
 		return fmt.Errorf("-shards needs a cache (-cache none has nothing to partition)")
 	}
+	if *tierWarm > 0 && (*peers != "" || *cacheKind == "none") {
+		return fmt.Errorf("-tier-warm needs a local cache (flat or lsh)")
+	}
+	if *snapPath != "" && (*peers != "" || *cacheKind == "none") {
+		return fmt.Errorf("-snapshot needs a local cache (flat or lsh)")
+	}
+
+	// Shared tiered-cache options; only consulted when -tier-warm is set.
+	topts := tier.Options{
+		HotCapacity:  *capacity,
+		WarmCapacity: *tierWarm,
+		Tolerance:    float32(*tau),
+		Policy:       policy,
+		Dir:          *tierDir,
+		Seed:         *seed,
+		Telemetry:    tel.Stages,
+	}
+	if *cacheKind == "lsh" {
+		topts.NewHot = tier.LSHHot(core.LSHOptions{
+			Bits:           *bitsL,
+			BucketCapacity: *bucket,
+			Seed:           *seed,
+		})
+	}
 
 	var cache core.Cache
 	var rebalancer server.Rebalancer
@@ -190,6 +245,24 @@ func run(args []string) error {
 		if *rebThresh > 0 {
 			return fmt.Errorf("-rebalance-threshold needs a cache (-cache none has nothing to balance)")
 		}
+	case *tierWarm > 0 && *shards > 0:
+		if *cacheKind != "flat" && *cacheKind != "lsh" {
+			return fmt.Errorf("unknown cache kind %q", *cacheKind)
+		}
+		var sc *shard.ShardedCache
+		sc, err = shard.NewTiered(*dim, *shards, topts, *seed)
+		cache = sc
+		if err == nil && *rebThresh > 0 {
+			rebalancer, err = startShardController(sc, *rebThresh)
+		}
+	case *tierWarm > 0:
+		if *rebThresh > 0 {
+			return fmt.Errorf("-rebalance-threshold needs -shards (an unsharded cache has nothing to rebalance)")
+		}
+		if *cacheKind != "flat" && *cacheKind != "lsh" {
+			return fmt.Errorf("unknown cache kind %q", *cacheKind)
+		}
+		cache, err = tier.New(*dim, topts)
 	case *cacheKind == "flat" && *shards > 0:
 		var sc *shard.ShardedCache
 		sc, err = shard.NewFlat(*dim, *shards, core.Options{
@@ -240,6 +313,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *snapPath != "" {
+		n, err := loadSnapshot(cache, *snapPath, *dim)
+		if err != nil {
+			return fmt.Errorf("loading snapshot: %w", err)
+		}
+		if n > 0 {
+			log.Printf("warm restart: %d cache entries restored from %s", n, *snapPath)
+		}
+	}
 
 	retr, err := core.NewCachedRetriever(cache, db, core.RetrieverOptions{
 		K:         *k,
@@ -269,17 +351,101 @@ func run(args []string) error {
 	case *peers != "":
 		role = "cluster router"
 	}
-	return srv.ListenAndServe(*addr, func(bound string) {
-		extra := ""
-		if *shards > 0 {
-			extra = fmt.Sprintf(" shards=%d", *shards)
+	// Serve until SIGTERM/SIGINT, then write the snapshot (if armed) with
+	// the listener already closed, so no in-flight fill can race the save.
+	ctx, unnotify := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer unnotify()
+	bound, stopSrv, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	extra := ""
+	if *shards > 0 {
+		extra = fmt.Sprintf(" shards=%d", *shards)
+	}
+	if rebalancer != nil {
+		extra += fmt.Sprintf(" rebalance>%.2f", *rebThresh)
+	}
+	if *tierWarm > 0 {
+		extra += fmt.Sprintf(" tier-warm=%d", *tierWarm)
+	}
+	log.Printf("proximity %s serving %d passages on %s (cache=%s τ=%v%s)",
+		role, db.Len(), bound, *cacheKind, *tau, extra)
+	<-ctx.Done()
+	unnotify() // a second signal kills the process the default way
+	if err := stopSrv(); err != nil {
+		return err
+	}
+	if *snapPath != "" {
+		n := cache.Len()
+		if err := saveSnapshot(cache, *snapPath, *dim); err != nil {
+			return fmt.Errorf("saving snapshot: %w", err)
 		}
-		if rebalancer != nil {
-			extra += fmt.Sprintf(" rebalance>%.2f", *rebThresh)
+		log.Printf("snapshot: %d cache entries written to %s", n, *snapPath)
+	}
+	if closer, ok := cache.(io.Closer); ok && *peers == "" {
+		closer.Close()
+	}
+	log.Printf("proximity %s stopped", role)
+	return nil
+}
+
+// loadSnapshot refills the cache from path, reporting how many entries
+// were restored. A missing snapshot (first boot) loads nothing. Sharded
+// caches read a directory of per-shard files; everything else reads one
+// variant-agnostic entry snapshot and replays it.
+func loadSnapshot(cache core.Cache, path string, dim int) (int, error) {
+	switch c := cache.(type) {
+	case *shard.ShardedCache:
+		err := c.LoadSnapshots(path)
+		return c.Len(), err
+	case *tier.TieredCache:
+		err := c.LoadSnapshotFile(path)
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil
 		}
-		log.Printf("proximity %s serving %d passages on %s (cache=%s τ=%v%s)",
-			role, db.Len(), bound, *cacheKind, *tau, extra)
-	})
+		return c.Len(), err
+	default:
+		f, err := os.Open(path)
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		snapDim, entries, err := core.ReadEntrySnapshot(f)
+		if err != nil {
+			return 0, err
+		}
+		if snapDim != dim {
+			return 0, fmt.Errorf("snapshot dimension %d does not match -dim %d", snapDim, dim)
+		}
+		for _, e := range entries {
+			cache.PutWithTolerance(e.Key, e.Docs, e.Tol)
+		}
+		return len(entries), nil
+	}
+}
+
+// saveSnapshot persists the cache contents to path crash-safely. Sharded
+// caches write a directory of per-shard files; everything else needs
+// core.EntrySource and writes one file.
+func saveSnapshot(cache core.Cache, path string, dim int) error {
+	switch c := cache.(type) {
+	case *shard.ShardedCache:
+		return c.WriteSnapshots(path)
+	case *tier.TieredCache:
+		return c.SaveSnapshotFile(path)
+	default:
+		src, ok := cache.(core.EntrySource)
+		if !ok {
+			return fmt.Errorf("cache %T cannot enumerate entries for a snapshot", cache)
+		}
+		return core.WriteFileAtomic(path, func(w io.Writer) error {
+			return core.WriteEntrySnapshot(w, dim, src)
+		})
+	}
 }
 
 // parseLogLevel maps the -log-level flag onto slog levels.

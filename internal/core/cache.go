@@ -77,6 +77,15 @@ type Options struct {
 	// Policy is the eviction strategy. Defaults to FIFO, the paper's
 	// default for the uniform benchmarks (§4.3).
 	Policy Policy
+	// OnEvict, when set, observes every capacity eviction: instead of
+	// silently discarding the victim, the cache hands it over — this is
+	// the demotion hook the tiered cache (internal/tier) uses to absorb
+	// hot-tier evictions into its warm tier. The Entry's key and docs
+	// are an ownership transfer of the victim's own slices (never
+	// aliased by the cache afterwards), so the hook may retain them
+	// without copying. The hook runs under the cache's lock: it must
+	// not call back into the cache.
+	OnEvict func(Entry)
 }
 
 func (o *Options) fillDefaults() {

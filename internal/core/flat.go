@@ -112,6 +112,40 @@ func (c *FlatCache) PeekAdmissible(q vec.Vector) (dist float32, ok bool) {
 	return scan.admissibleDist, true
 }
 
+// TierGet is the two-phase hot-tier lookup (see TierCache): it returns
+// the closest admissible entry without counting a hit/miss or touching
+// recency, plus a deferred Commit that applies those side effects if
+// the tiered cache decides this candidate won. Distance computations
+// are charged as usual.
+func (c *FlatCache) TierGet(q vec.Vector) (TierHit, bool) {
+	if q == nil {
+		return TierHit{}, false
+	}
+	c.mu.RLock()
+	scan := c.scanLocked(q)
+	if scan.admissible == nil {
+		c.mu.RUnlock()
+		return TierHit{}, false
+	}
+	docs := append([]int(nil), scan.admissible.docs...)
+	elem := scan.admissible.elem
+	c.mu.RUnlock()
+	return TierHit{
+		Docs: docs,
+		Dist: scan.admissibleDist,
+		commit: func() {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			c.stats.Hits++
+			// MoveToBack no-ops if the entry was evicted between the
+			// lookup and the commit (its element left the list).
+			if c.opts.Policy == LRU {
+				c.order.MoveToBack(elem)
+			}
+		},
+	}, true
+}
+
 // scanResult carries both views of a linear scan: the globally closest
 // entry (diagnostics, Peek) and the closest entry whose own tolerance
 // admits the query (the Algorithm 1 match).
@@ -193,6 +227,11 @@ func (c *FlatCache) evictLocked() {
 	c.entries[victim.idx].idx = victim.idx
 	c.entries = c.entries[:last]
 	c.stats.Evictions++
+	if c.opts.OnEvict != nil {
+		// Ownership transfer: the victim's slices are unreachable from
+		// the cache now, so the hook keeps them without copying.
+		c.opts.OnEvict(Entry{Key: victim.key, Docs: victim.docs, Tol: victim.tol})
+	}
 }
 
 // Len returns the number of cached entries.

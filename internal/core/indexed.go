@@ -50,6 +50,10 @@ type IndexedOptions struct {
 	// in-edges survive slot recycling). Benchmark baseline only — it
 	// re-introduces the churn recall decay this option exists to fix.
 	DisableInEdgeRepair bool
+	// OnEvict observes capacity evictions (see Options.OnEvict): the
+	// victim's key/docs slices are handed over instead of discarded.
+	// Runs under the cache lock; must not call back into the cache.
+	OnEvict func(Entry)
 }
 
 // MaintenanceOptions tunes the incremental repair schedule. Zero values
@@ -238,6 +242,49 @@ func (c *IndexedCache) Get(q vec.Vector) ([]int, bool) {
 	return out, true
 }
 
+// TierGet is the two-phase hot-tier lookup (see TierCache): the Get
+// candidate search without hit/miss counting or LRU refresh, plus a
+// deferred Commit applying those side effects. The graph path's recall
+// caveat carries over: a candidate the beam misses is a miss here too.
+func (c *IndexedCache) TierGet(q vec.Vector) (TierHit, bool) {
+	if q == nil || len(q) != c.dim {
+		return TierHit{}, false
+	}
+	c.mu.Lock()
+	var best *indexedEntry
+	switch {
+	case c.live == 0:
+		// nothing cached
+	case c.live < c.opts.Crossover:
+		c.bruteScans++
+		best = c.scanExact(q)
+	default:
+		best = c.searchGraph(q)
+	}
+	if best == nil {
+		c.mu.Unlock()
+		return TierHit{}, false
+	}
+	// Re-derive the winning exact distance (the scans don't return it);
+	// one uncharged computation against the already-chosen entry.
+	d := c.dist(q, best.key)
+	docs := append([]int(nil), best.docs...)
+	elem := best.elem
+	c.mu.Unlock()
+	return TierHit{
+		Docs: docs,
+		Dist: d,
+		commit: func() {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			c.stats.Hits++
+			if c.opts.Policy == LRU {
+				c.order.MoveToBack(elem)
+			}
+		},
+	}, true
+}
+
 // scanExact is the sub-crossover fallback: an exact scan over live slots
 // in ascending slot order (ties keep the lowest slot, deterministic).
 func (c *IndexedCache) scanExact(q vec.Vector) *indexedEntry {
@@ -387,6 +434,11 @@ func (c *IndexedCache) evictLocked() {
 	c.entries[victim.id] = nil
 	c.live--
 	c.stats.Evictions++
+	if c.opts.OnEvict != nil {
+		// The graph holds a quantized copy of the key, not the victim's
+		// float32 slice, so handing the slices over transfers ownership.
+		c.opts.OnEvict(Entry{Key: victim.key, Docs: victim.docs, Tol: victim.tol})
+	}
 }
 
 // Len returns the number of cached entries.

@@ -57,6 +57,11 @@ type LSHOptions struct {
 	// extra scans (still O(Probes·b·d), capacity-independent) for hit
 	// rate. Capped at Bits+1 (the base bucket plus one flip per bit).
 	Probes int
+	// OnEvict observes per-bucket capacity evictions (see
+	// Options.OnEvict); bucket-local displacement under skew fires it
+	// even while the cache as a whole is far from its theoretical
+	// capacity. Runs under the bucket's lock.
+	OnEvict func(Entry)
 }
 
 // DefaultBucketCapacity is the paper's recommended per-bucket size.
@@ -76,6 +81,7 @@ func NewLSH(dim int, opts LSHOptions) (*LSHCache, error) {
 		Tolerance: opts.Tolerance,
 		Metric:    opts.Metric,
 		Policy:    opts.Policy,
+		OnEvict:   opts.OnEvict,
 	}
 	bucket.fillDefaults()
 	if err := bucket.validate(); err != nil {
@@ -161,6 +167,39 @@ func (c *LSHCache) getMultiProbe(q vec.Vector) ([]int, bool) {
 	// concurrent eviction may turn this into a miss, which is then
 	// counted by the bucket itself.
 	return best.Get(q)
+}
+
+// TierGet is the two-phase hot-tier lookup (see TierCache): the probe
+// sequence is ranked exactly like Get's, but the winning bucket's hit
+// bookkeeping (hit counter, LRU refresh) is deferred to Commit. Lookups
+// that find no admissible entry return false without counting a miss.
+func (c *LSHCache) TierGet(q vec.Vector) (TierHit, bool) {
+	if q == nil {
+		return TierHit{}, false
+	}
+	probeSigs := c.hasher.ProbeSequence(q)[:c.probes]
+	c.mu.Lock()
+	c.hashOps += int64(c.hasher.Bits())
+	candidates := make([]*FlatCache, 0, len(probeSigs))
+	for _, sig := range probeSigs {
+		if b := c.buckets[sig]; b != nil {
+			candidates = append(candidates, b)
+		}
+	}
+	c.mu.Unlock()
+	var (
+		best     *FlatCache
+		bestDist float32
+	)
+	for _, b := range candidates {
+		if d, ok := b.PeekAdmissible(q); ok && (best == nil || d < bestDist) {
+			best, bestDist = b, d
+		}
+	}
+	if best == nil {
+		return TierHit{}, false
+	}
+	return best.TierGet(q)
 }
 
 // Put hashes the query and inserts into its bucket under the cache-wide

@@ -1,9 +1,14 @@
 package core
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"proximity/internal/vec"
 )
@@ -13,10 +18,107 @@ import (
 // eviction order; cumulative counters restart at zero (they describe a
 // process lifetime, not the cached state).
 //
-// The format is encoding/gob with a version tag; it is an internal
-// format, not a cross-version interchange contract.
+// The format is a magic/version header followed by an encoding/gob
+// payload; it is an internal format, not a cross-version interchange
+// contract. Readers also accept headerless v0 snapshots (written before
+// the header existed): the magic bytes cannot begin a valid gob stream,
+// so the two formats are unambiguous.
 
 const snapshotVersion = 1
+
+// snapshotMagic prefixes every snapshot written since the header was
+// introduced. A gob stream starts with a type-definition length whose
+// first byte is small, so these bytes can never be confused with a
+// legacy headerless snapshot.
+var snapshotMagic = []byte("PXSNAP")
+
+// snapshotFormatVersion is the on-disk format generation, written as a
+// single byte after the magic. Bump it on incompatible layout changes;
+// readers reject newer generations with ErrSnapshotVersion instead of
+// feeding them to gob and decoding garbage.
+const snapshotFormatVersion = 1
+
+// ErrSnapshotVersion reports a snapshot written by an incompatible
+// format generation (or a gob payload carrying an unknown version tag).
+// Callers distinguish it from plain corruption: a version mismatch is
+// expected across upgrades and warrants a cold start, not an alert.
+var ErrSnapshotVersion = errors.New("core: unsupported snapshot version")
+
+// writeSnapshotHeader emits the magic/version prefix.
+func writeSnapshotHeader(w io.Writer) error {
+	if _, err := w.Write(snapshotMagic); err != nil {
+		return fmt.Errorf("core: write snapshot header: %w", err)
+	}
+	if _, err := w.Write([]byte{snapshotFormatVersion}); err != nil {
+		return fmt.Errorf("core: write snapshot header: %w", err)
+	}
+	return nil
+}
+
+// consumeSnapshotHeader checks for the magic/version prefix on br,
+// consuming it when present. Headerless (v0) snapshots pass through
+// untouched for the gob decoder. A recognized magic with a newer format
+// byte is ErrSnapshotVersion.
+func consumeSnapshotHeader(br *bufio.Reader) error {
+	head, err := br.Peek(len(snapshotMagic) + 1)
+	if err != nil {
+		// Too short to carry a header; let the gob decoder report the
+		// truncation with its own context.
+		return nil
+	}
+	if !bytes.Equal(head[:len(snapshotMagic)], snapshotMagic) {
+		return nil // legacy v0: headerless gob
+	}
+	if v := head[len(snapshotMagic)]; v > snapshotFormatVersion {
+		return fmt.Errorf("%w: format generation %d (this build reads up to %d)",
+			ErrSnapshotVersion, v, snapshotFormatVersion)
+	}
+	if _, err := br.Discard(len(snapshotMagic) + 1); err != nil {
+		return fmt.Errorf("core: consume snapshot header: %w", err)
+	}
+	return nil
+}
+
+// WriteFileAtomic writes a file via a temp-file-and-rename so a crash
+// mid-write can never leave a torn file at path: the rename is atomic on
+// POSIX filesystems, so readers observe either the old content or the
+// complete new one. The temp file lives in path's directory (renames
+// across filesystems are not atomic) and is cleaned up on failure.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: create temp snapshot: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	if err := write(bw); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: flush snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("core: sync snapshot: %w", err)
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		os.Remove(name)
+		return fmt.Errorf("core: close snapshot: %w", err)
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("core: rename snapshot into place: %w", err)
+	}
+	return nil
+}
 
 // flatSnapshot is the serialized form of a FlatCache.
 type flatSnapshot struct {
@@ -55,20 +157,30 @@ func (c *FlatCache) WriteSnapshot(w io.Writer) error {
 	}
 	c.mu.Unlock()
 
+	if err := writeSnapshotHeader(w); err != nil {
+		return err
+	}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("core: encode snapshot: %w", err)
 	}
 	return nil
 }
 
-// ReadFlatSnapshot reconstructs a FlatCache from a snapshot.
+// ReadFlatSnapshot reconstructs a FlatCache from a snapshot. Both the
+// current headered format and legacy headerless (v0) snapshots are
+// accepted; a snapshot from a newer format generation returns an error
+// wrapping ErrSnapshotVersion.
 func ReadFlatSnapshot(r io.Reader) (*FlatCache, error) {
+	br := bufio.NewReader(r)
+	if err := consumeSnapshotHeader(br); err != nil {
+		return nil, err
+	}
 	var snap flatSnapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: decode snapshot: %w", err)
 	}
 	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("core: unsupported snapshot version %d", snap.Version)
+		return nil, fmt.Errorf("%w: payload version %d", ErrSnapshotVersion, snap.Version)
 	}
 	if len(snap.Keys) != len(snap.Docs) || len(snap.Keys) != len(snap.Tols) {
 		return nil, fmt.Errorf("core: corrupt snapshot: %d keys, %d docs, %d tolerances",
@@ -150,20 +262,30 @@ func (c *LSHCache) WriteSnapshot(w io.Writer) error {
 		}
 		b.mu.Unlock()
 	}
+	if err := writeSnapshotHeader(w); err != nil {
+		return err
+	}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("core: encode snapshot: %w", err)
 	}
 	return nil
 }
 
-// ReadLSHSnapshot reconstructs an LSHCache from a snapshot.
+// ReadLSHSnapshot reconstructs an LSHCache from a snapshot. Both the
+// current headered format and legacy headerless (v0) snapshots are
+// accepted; a snapshot from a newer format generation returns an error
+// wrapping ErrSnapshotVersion.
 func ReadLSHSnapshot(r io.Reader) (*LSHCache, error) {
+	br := bufio.NewReader(r)
+	if err := consumeSnapshotHeader(br); err != nil {
+		return nil, err
+	}
 	var snap lshSnapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: decode snapshot: %w", err)
 	}
 	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("core: unsupported snapshot version %d", snap.Version)
+		return nil, fmt.Errorf("%w: payload version %d", ErrSnapshotVersion, snap.Version)
 	}
 	if len(snap.Keys) != len(snap.Docs) || len(snap.Keys) != len(snap.Tols) {
 		return nil, fmt.Errorf("core: corrupt snapshot: %d keys, %d docs, %d tolerances",
@@ -202,4 +324,67 @@ func ReadLSHSnapshot(r io.Reader) (*LSHCache, error) {
 		b.mu.Unlock()
 	}
 	return c, nil
+}
+
+// entrySnapshot is the variant-agnostic serialized form of a cache's
+// contents: just the entries in eviction order, without the construction
+// options. Any EntrySource can write one, and any cache can be refilled
+// from one by replaying PutWithTolerance — the cold-tier format of the
+// tiered hierarchy, and the interchange format for moving contents
+// between cache variants.
+type entrySnapshot struct {
+	Version int
+	Dim     int
+	Keys    []vec.Vector
+	Docs    [][]int
+	Tols    []float32
+}
+
+// WriteEntrySnapshot serializes src's entries (in src's enumeration
+// order, which is eviction order where the source defines one) to w.
+func WriteEntrySnapshot(w io.Writer, dim int, src EntrySource) error {
+	snap := entrySnapshot{Version: snapshotVersion, Dim: dim}
+	for _, e := range src.Entries() {
+		snap.Keys = append(snap.Keys, e.Key)
+		snap.Docs = append(snap.Docs, e.Docs)
+		snap.Tols = append(snap.Tols, e.Tol)
+	}
+	if err := writeSnapshotHeader(w); err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("core: encode entry snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadEntrySnapshot decodes an entry snapshot, returning the embedding
+// dimension and the entries in their serialized order. Replaying them in
+// that order through PutWithTolerance reproduces the snapshotted
+// contents and eviction sequence in any cache variant.
+func ReadEntrySnapshot(r io.Reader) (dim int, entries []Entry, err error) {
+	br := bufio.NewReader(r)
+	if err := consumeSnapshotHeader(br); err != nil {
+		return 0, nil, err
+	}
+	var snap entrySnapshot
+	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
+		return 0, nil, fmt.Errorf("core: decode entry snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return 0, nil, fmt.Errorf("%w: payload version %d", ErrSnapshotVersion, snap.Version)
+	}
+	if len(snap.Keys) != len(snap.Docs) || len(snap.Keys) != len(snap.Tols) {
+		return 0, nil, fmt.Errorf("core: corrupt snapshot: %d keys, %d docs, %d tolerances",
+			len(snap.Keys), len(snap.Docs), len(snap.Tols))
+	}
+	entries = make([]Entry, len(snap.Keys))
+	for i, k := range snap.Keys {
+		if len(k) != snap.Dim {
+			return 0, nil, fmt.Errorf("core: corrupt snapshot: key %d has dim %d, expected %d",
+				i, len(k), snap.Dim)
+		}
+		entries[i] = Entry{Key: k, Docs: snap.Docs[i], Tol: snap.Tols[i]}
+	}
+	return snap.Dim, entries, nil
 }

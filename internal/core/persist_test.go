@@ -2,6 +2,12 @@ package core
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -147,5 +153,172 @@ func TestSnapshotEmptyCache(t *testing.T) {
 	restored.Put(vec.Vector{1, 2, 3}, []int{9})
 	if _, ok := restored.Get(vec.Vector{1, 2, 3}); !ok {
 		t.Error("restored empty cache unusable")
+	}
+}
+
+// Legacy headerless (v0) snapshots — written before the magic/version
+// header existed — must still load.
+func TestSnapshotLegacyHeaderlessRead(t *testing.T) {
+	orig := mustFlat(t, 2, Options{Capacity: 4, Tolerance: 1})
+	orig.Put(vec.Vector{1, 2}, []int{7})
+	var headered bytes.Buffer
+	if err := orig.WriteSnapshot(&headered); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the header to reconstruct what a v0 writer produced.
+	legacy := bytes.NewReader(headered.Bytes()[len(snapshotMagic)+1:])
+	restored, err := ReadFlatSnapshot(legacy)
+	if err != nil {
+		t.Fatalf("legacy read: %v", err)
+	}
+	if docs, ok := restored.Get(vec.Vector{1, 2}); !ok || docs[0] != 7 {
+		t.Fatalf("legacy restore Get = %v %v", docs, ok)
+	}
+}
+
+// Snapshots from a newer format generation are rejected with the typed
+// error, not fed to gob.
+func TestSnapshotFutureFormatVersion(t *testing.T) {
+	future := append(append([]byte(nil), snapshotMagic...), 0xFF, 1, 2, 3)
+	if _, err := ReadFlatSnapshot(bytes.NewReader(future)); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("flat err = %v, want ErrSnapshotVersion", err)
+	}
+	if _, err := ReadLSHSnapshot(bytes.NewReader(future)); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("lsh err = %v, want ErrSnapshotVersion", err)
+	}
+	if _, _, err := ReadEntrySnapshot(bytes.NewReader(future)); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("entry err = %v, want ErrSnapshotVersion", err)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("first"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A failed write leaves the previous file untouched and no temp files.
+	boom := errors.New("boom")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		w.Write([]byte("partial"))
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "first" {
+		t.Fatalf("file = %q, %v; want untouched", got, err)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("dir has %d files, want 1 (no temp leftovers)", len(files))
+	}
+}
+
+// Round-trip property (entry snapshot): enumerating any cache variant,
+// serializing, and replaying into a fresh cache of the same variant
+// preserves entries, per-line tolerances, and eviction order.
+func TestEntrySnapshotRoundTripVariants(t *testing.T) {
+	const (
+		dim = 6
+		cap = 24
+		tol = 1.2
+	)
+	fill := func(c Cache, rng interface{ Float64() float64 }, keys []vec.Vector) {
+		for i, k := range keys {
+			c.PutWithTolerance(k, []int{i, i * 3}, tol*float32(0.5+rng.Float64()))
+		}
+	}
+	genKeys := func(seed uint64, n int) []vec.Vector {
+		rng := vec.NewRand(seed)
+		out := make([]vec.Vector, n)
+		for i := range out {
+			out[i] = vec.Scale(vec.RandomGaussian(rng, dim), 2)
+		}
+		return out
+	}
+	sameEntries := func(t *testing.T, a, b []Entry, ordered bool) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("entry count %d vs %d", len(a), len(b))
+		}
+		key := func(e Entry) string {
+			return fmt.Sprintf("%v|%v|%v", e.Key, e.Docs, e.Tol)
+		}
+		if ordered {
+			for i := range a {
+				if key(a[i]) != key(b[i]) {
+					t.Fatalf("entry %d diverged:\n%s\nvs\n%s", i, key(a[i]), key(b[i]))
+				}
+			}
+			return
+		}
+		as, bs := make([]string, len(a)), make([]string, len(b))
+		for i := range a {
+			as[i], bs[i] = key(a[i]), key(b[i])
+		}
+		sort.Strings(as)
+		sort.Strings(bs)
+		for i := range as {
+			if as[i] != bs[i] {
+				t.Fatalf("entry sets diverge at %d:\n%s\nvs\n%s", i, as[i], bs[i])
+			}
+		}
+	}
+	cases := []struct {
+		name    string
+		make    func() Cache
+		ordered bool // variant enumerates in a deterministic eviction order
+	}{
+		{"flat", func() Cache {
+			return mustFlat(t, dim, Options{Capacity: cap, Tolerance: tol, Policy: LRU})
+		}, true},
+		{"lsh", func() Cache {
+			return mustLSH(t, dim, LSHOptions{Bits: 3, BucketCapacity: 4, Tolerance: tol, Seed: 5})
+		}, false},
+		{"indexed", func() Cache {
+			c, err := NewIndexed(dim, IndexedOptions{Capacity: cap, Tolerance: tol, Policy: LRU, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := vec.NewRand(77)
+			keys := genKeys(101, 40) // overfill to exercise eviction order
+			orig := tc.make()
+			fill(orig, rng, keys)
+			src, ok := orig.(EntrySource)
+			if !ok {
+				t.Fatalf("%T does not enumerate entries", orig)
+			}
+			var buf bytes.Buffer
+			if err := WriteEntrySnapshot(&buf, dim, src); err != nil {
+				t.Fatal(err)
+			}
+			gotDim, entries, err := ReadEntrySnapshot(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotDim != dim {
+				t.Fatalf("dim = %d", gotDim)
+			}
+			fresh := tc.make()
+			for _, e := range entries {
+				fresh.PutWithTolerance(e.Key, e.Docs, e.Tol)
+			}
+			sameEntries(t, src.Entries(), fresh.(EntrySource).Entries(), tc.ordered)
+			if orig.Len() != fresh.Len() {
+				t.Fatalf("Len %d vs %d", orig.Len(), fresh.Len())
+			}
+		})
 	}
 }

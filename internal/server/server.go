@@ -166,6 +166,37 @@ func (s *Server) registerMetrics() {
 				"Graph nodes queued for repair.",
 				func() float64 { return float64(is.IndexStats().PendingRepair) })
 		}
+		if ts, ok := cache.(core.TierStatser); ok {
+			reg.GaugeFunc("proximity_tier_hot_entries", "Resident hot-tier entries.",
+				func() float64 { return float64(ts.TierStats().HotEntries) })
+			reg.GaugeFunc("proximity_tier_hot_capacity", "Configured hot-tier capacity.",
+				func() float64 { return float64(ts.TierStats().HotCapacity) })
+			reg.GaugeFunc("proximity_tier_warm_entries", "Resident warm-tier entries.",
+				func() float64 { return float64(ts.TierStats().WarmEntries) })
+			reg.GaugeFunc("proximity_tier_warm_capacity", "Configured warm-tier capacity.",
+				func() float64 { return float64(ts.TierStats().WarmCapacity) })
+			reg.GaugeFunc("proximity_tier_warm_bytes", "Vector bytes resident in warm record files.",
+				func() float64 { return float64(ts.TierStats().WarmBytes) })
+			reg.CounterFunc("proximity_tier_hot_hits_total", "Lookups served by the hot tier.",
+				func() float64 { return float64(ts.TierStats().HotHits) })
+			reg.CounterFunc("proximity_tier_warm_hits_total", "Lookups served by the warm tier.",
+				func() float64 { return float64(ts.TierStats().WarmHits) })
+			reg.CounterFunc("proximity_tier_promotions_total",
+				"Warm entries moved back into the hot tier on a hit.",
+				func() float64 { return float64(ts.TierStats().Promotions) })
+			reg.CounterFunc("proximity_tier_demotions_total",
+				"Hot-tier evictions absorbed into the warm tier.",
+				func() float64 { return float64(ts.TierStats().Demotions) })
+			reg.CounterFunc("proximity_tier_warm_discards_total",
+				"Entries aged out of the warm tier (true evictions).",
+				func() float64 { return float64(ts.TierStats().WarmDiscards) })
+			reg.CounterFunc("proximity_tier_warm_scanned_total",
+				"Warm vectors read and exactly compared during lookups.",
+				func() float64 { return float64(ts.TierStats().WarmScanned) })
+			reg.CounterFunc("proximity_tier_warm_pruned_total",
+				"Warm entries skipped by pivot lower bounds without a record read.",
+				func() float64 { return float64(ts.TierStats().WarmPruned) })
+		}
 	}
 	if bs, ok := ret.Searcher().(batchStatser); ok {
 		reg.CounterFunc("proximity_batch_searches_total",
@@ -298,6 +329,11 @@ type StatsResponse struct {
 	// hops, exact re-ranks), present only when the cache is backed by a
 	// graph index (core.IndexedCache, possibly sharded).
 	Index *IndexStats `json:"index,omitempty"`
+
+	// Tiers holds the hot/warm tier breakdown (per-tier occupancy, hit
+	// split, promotion/demotion traffic), present only when the cache is
+	// tiered (tier.TieredCache, possibly sharded).
+	Tiers *TierStats `json:"tiers,omitempty"`
 }
 
 // IndexStats is the graph-index slice of the stats payload. The repair
@@ -319,6 +355,25 @@ type IndexStats struct {
 	RepairedNodes   int64 `json:"repairedNodes"`
 	PendingRepair   int   `json:"pendingRepair"`
 	RepairNanos     int64 `json:"repairNanos"`
+}
+
+// TierStats is the tiered-cache slice of the stats payload: occupancy
+// gauges per tier, the hit split by serving tier, and the
+// demotion/promotion flow between them.
+type TierStats struct {
+	HotEntries   int   `json:"hotEntries"`
+	HotCapacity  int   `json:"hotCapacity"`
+	WarmEntries  int   `json:"warmEntries"`
+	WarmCapacity int   `json:"warmCapacity"`
+	WarmBytes    int64 `json:"warmBytes"`
+	HotHits      int64 `json:"hotHits"`
+	WarmHits     int64 `json:"warmHits"`
+	Promotions   int64 `json:"promotions"`
+	Demotions    int64 `json:"demotions"`
+	WarmDiscards int64 `json:"warmDiscards"`
+	WarmLookups  int64 `json:"warmLookups"`
+	WarmScanned  int64 `json:"warmScanned"`
+	WarmPruned   int64 `json:"warmPruned"`
 }
 
 // RebalanceStats is the adaptive-rebalancing slice of the stats payload.
@@ -683,6 +738,28 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 				RepairedNodes:   st.RepairedNodes,
 				PendingRepair:   st.PendingRepair,
 				RepairNanos:     st.RepairNanos,
+			}
+		}
+	}
+	// Same non-zero gating as Index: a sharded flat/LSH cache satisfies
+	// core.TierStatser through aggregation that finds no tiered
+	// sub-caches.
+	if ts, ok := cache.(core.TierStatser); ok {
+		if st := ts.TierStats(); st != (core.TierStats{}) {
+			resp.Tiers = &TierStats{
+				HotEntries:   st.HotEntries,
+				HotCapacity:  st.HotCapacity,
+				WarmEntries:  st.WarmEntries,
+				WarmCapacity: st.WarmCapacity,
+				WarmBytes:    st.WarmBytes,
+				HotHits:      st.HotHits,
+				WarmHits:     st.WarmHits,
+				Promotions:   st.Promotions,
+				Demotions:    st.Demotions,
+				WarmDiscards: st.WarmDiscards,
+				WarmLookups:  st.WarmLookups,
+				WarmScanned:  st.WarmScanned,
+				WarmPruned:   st.WarmPruned,
 			}
 		}
 	}

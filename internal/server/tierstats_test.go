@@ -1,0 +1,131 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"proximity/internal/core"
+	"proximity/internal/embed"
+	"proximity/internal/tier"
+	"proximity/internal/vec"
+	"proximity/internal/vectordb"
+)
+
+// TestStatsTierFields: serving from a tiered cache surfaces the tiers
+// block through /v1/stats and the proximity_tier_* series through
+// /metrics; a flat cache omits both.
+func TestStatsTierFields(t *testing.T) {
+	const dim = 16
+	enc := embed.NewTokenHash(dim, 1)
+	db, err := vectordb.NewFlatIndex(dim, vec.L2Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(enc.Embed("seed doc")); err != nil {
+		t.Fatal(err)
+	}
+	cache, err := tier.New(dim, tier.Options{
+		HotCapacity:  8,
+		WarmCapacity: 64,
+		Tolerance:    0.5,
+		Policy:       core.LRU,
+		Dir:          t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overflow the hot tier so demotions flow, then re-query an old key
+	// so a warm hit and promotion flow too.
+	rng := vec.NewRand(11)
+	var keys []vec.Vector
+	for i := 0; i < 40; i++ {
+		k := vec.Scale(vec.RandomGaussian(rng, dim), 2)
+		cache.Put(k, []int{i})
+		keys = append(keys, k)
+	}
+	if _, ok := cache.Get(keys[20]); !ok {
+		t.Fatal("expected warm hit on demoted key")
+	}
+	retr, err := core.NewCachedRetriever(cache, db, core.RetrieverOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Retriever: retr, Embedder: enc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tiers == nil {
+		t.Fatal("tiered cache server omitted the tiers stats block")
+	}
+	if st.Tiers.HotCapacity != 8 || st.Tiers.WarmCapacity != 64 {
+		t.Errorf("tier capacities = %d/%d, want 8/64", st.Tiers.HotCapacity, st.Tiers.WarmCapacity)
+	}
+	if st.Tiers.HotEntries+st.Tiers.WarmEntries != cache.Len() {
+		t.Errorf("tier gauge sum %d != Len %d", st.Tiers.HotEntries+st.Tiers.WarmEntries, cache.Len())
+	}
+	if st.Tiers.Demotions == 0 || st.Tiers.WarmHits == 0 || st.Tiers.Promotions == 0 {
+		t.Errorf("tier flow counters not surfaced: %+v", st.Tiers)
+	}
+	if st.Tiers.WarmBytes == 0 {
+		t.Errorf("warm bytes gauge not surfaced: %+v", st.Tiers)
+	}
+
+	body, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{
+		"proximity_tier_hot_entries",
+		"proximity_tier_warm_entries",
+		"proximity_tier_warm_bytes",
+		"proximity_tier_hot_hits_total",
+		"proximity_tier_warm_hits_total",
+		"proximity_tier_promotions_total",
+		"proximity_tier_demotions_total",
+		"proximity_tier_warm_discards_total",
+	} {
+		if !strings.Contains(body, metric) {
+			t.Errorf("/metrics missing %s", metric)
+		}
+	}
+
+	// A flat cache must omit the block and the series.
+	flat, err := core.NewFlat(dim, core.Options{Capacity: 64, Tolerance: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retr2, err := core.NewCachedRetriever(flat, db, core.RetrieverOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := New(Config{Retriever: retr2, Embedder: enc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	client2 := NewClient(ts2.URL)
+	st2, err := client2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Tiers != nil {
+		t.Errorf("flat cache server emitted a tiers stats block: %+v", st2.Tiers)
+	}
+	body2, err := client2.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(body2, "proximity_tier_") {
+		t.Error("flat cache server registered proximity_tier_* series")
+	}
+}

@@ -3,6 +3,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"proximity/internal/core"
@@ -213,6 +214,19 @@ func (c *ShardedCache) Reseed(seed uint64) (Migration, error) {
 	// slot j before j's own sweep; j's sweep re-enumerates them as
 	// "stay", so they must not count toward Stayed a second time.
 	delivered := make([]int, n)
+	// swapped marks slots whose pre-built replacement was installed;
+	// replacements for slots with no leavers are never used and must be
+	// closed (a fresh tiered cache already holds an open warm file).
+	swapped := make([]bool, n)
+	defer func() {
+		for i, used := range swapped {
+			if !used {
+				if closer, ok := fresh[i].(io.Closer); ok {
+					closer.Close()
+				}
+			}
+		}
+	}()
 	for i := range c.slots {
 		s := &c.slots[i]
 		s.mu.Lock()
@@ -244,7 +258,17 @@ func (c *ShardedCache) Reseed(seed uint64) (Migration, error) {
 			if is, ok := s.cache.(core.IndexStatser); ok {
 				s.indexBase.Merge(retireIndexStats(is.IndexStats()))
 			}
+			if ts, ok := s.cache.(core.TierStatser); ok {
+				s.tierBase.Merge(retireTierStats(ts.TierStats()))
+			}
+			old := s.cache
 			s.cache = fresh[i]
+			swapped[i] = true
+			// Retired tiered generations hold a warm record file; release
+			// it now that the enumeration copied everything out.
+			if closer, ok := old.(io.Closer); ok {
+				closer.Close()
+			}
 		}
 		s.mu.Unlock()
 

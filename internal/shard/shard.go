@@ -24,6 +24,7 @@ package shard
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"sync"
@@ -31,6 +32,7 @@ import (
 
 	"proximity/internal/core"
 	"proximity/internal/lsh"
+	"proximity/internal/tier"
 	"proximity/internal/vec"
 )
 
@@ -124,6 +126,10 @@ type slot struct {
 	// PendingRepair) describe only the live generation and are never
 	// folded.
 	indexBase core.IndexStats
+	// tierBase does the same for retired tiered sub-cache generations:
+	// cumulative tier counters (hits by tier, promotions, demotions,
+	// discards) survive a migration, occupancy gauges do not.
+	tierBase core.TierStats
 }
 
 // stats returns the slot's externally visible counters.
@@ -279,6 +285,42 @@ func NewIndexed(dim, shards int, opts core.IndexedOptions, seed uint64) (*Sharde
 			sub.Capacity = per
 			sub.Seed = seed + 1 + uint64(i)
 			return core.NewIndexed(dim, sub)
+		},
+	})
+}
+
+// NewTiered creates a ShardedCache of tiered sub-caches (tier.
+// TieredCache): each shard composes its own hot in-memory cache over its
+// own file-backed warm tier, and the per-shard cold snapshots
+// (WriteSnapshots/LoadSnapshots) make the whole structure warm-
+// restartable. The configured hot and warm capacities are TOTALS across
+// shards (split evenly, rounded up). Each shard's warm tier draws its
+// own pivot seed (seed + 1 + shard index); the partitioner uses seed
+// directly. Tiered sub-caches enumerate entries, so Reseed migration
+// works unchanged; retired generations release their warm record files
+// on swap.
+func NewTiered(dim, shards int, opts tier.Options, seed uint64) (*ShardedCache, error) {
+	n := shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	splitUp := func(total int) int {
+		per := total / n
+		if total%n != 0 {
+			per++
+		}
+		return per
+	}
+	hot, warm := splitUp(opts.HotCapacity), splitUp(opts.WarmCapacity)
+	return New(dim, Options{
+		Shards: n,
+		Seed:   seed,
+		New: func(i int) (core.Cache, error) {
+			sub := opts
+			sub.HotCapacity = hot
+			sub.WarmCapacity = warm
+			sub.Seed = seed + 1 + uint64(i)
+			return tier.New(dim, sub)
 		},
 	})
 }
@@ -508,6 +550,68 @@ func (c *ShardedCache) IndexStats() core.IndexStats {
 		s.mu.RUnlock()
 	}
 	return agg
+}
+
+// TierStats aggregates tier counters across shards, including retired
+// generations' baselines. Shards whose sub-caches are not tiered
+// contribute nothing. Implements core.TierStatser.
+func (c *ShardedCache) TierStats() core.TierStats {
+	var agg core.TierStats
+	for i := range c.slots {
+		s := &c.slots[i]
+		s.mu.RLock()
+		agg.Merge(s.tierBase)
+		if ts, ok := s.cache.(core.TierStatser); ok {
+			agg.Merge(ts.TierStats())
+		}
+		s.mu.RUnlock()
+	}
+	return agg
+}
+
+// retireTierStats reduces a retired tiered generation's TierStats to its
+// cumulative counters; the occupancy gauges belong to the replacement.
+func retireTierStats(ts core.TierStats) core.TierStats {
+	ts.HotEntries = 0
+	ts.HotCapacity = 0
+	ts.WarmEntries = 0
+	ts.WarmCapacity = 0
+	ts.WarmBytes = 0
+	return ts
+}
+
+// Entries enumerates the combined contents of all shards (per-shard
+// eviction order, shard order by index). Shards whose sub-caches cannot
+// enumerate are skipped. Implements core.EntrySource.
+func (c *ShardedCache) Entries() []core.Entry {
+	var out []core.Entry
+	for i := range c.slots {
+		s := &c.slots[i]
+		s.mu.RLock()
+		if src, ok := s.cache.(core.EntrySource); ok {
+			out = append(out, src.Entries()...)
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// Close releases per-shard resources (tiered sub-caches hold warm record
+// files). Sub-caches without resources are unaffected. The cache must
+// not be used afterwards.
+func (c *ShardedCache) Close() error {
+	var first error
+	for i := range c.slots {
+		s := &c.slots[i]
+		s.mu.Lock()
+		if closer, ok := s.cache.(io.Closer); ok {
+			if err := closer.Close(); first == nil {
+				first = err
+			}
+		}
+		s.mu.Unlock()
+	}
+	return first
 }
 
 // retireIndexStats reduces a retired sub-cache generation's IndexStats to

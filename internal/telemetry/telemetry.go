@@ -15,13 +15,16 @@ import (
 type Stage uint8
 
 const (
-	StageCacheLookup  Stage = iota // similarity search over resident entries
-	StageCacheFill                 // Put of a fresh result after a miss
-	StageCoalesceWait              // follower blocked on an in-flight duplicate
-	StageBatchQueue                // dwell in the batch collector before flush
-	StageDBSearch                  // vector DB search (single or batched)
-	StageNodeRPC                   // HTTP round trip to a cluster shard node
-	StageGraphRepair               // incremental HNSW maintenance pass (hnsw.Repair)
+	StageCacheLookup    Stage = iota // similarity search over resident entries
+	StageCacheFill                   // Put of a fresh result after a miss
+	StageCoalesceWait                // follower blocked on an in-flight duplicate
+	StageBatchQueue                  // dwell in the batch collector before flush
+	StageDBSearch                    // vector DB search (single or batched)
+	StageNodeRPC                     // HTTP round trip to a cluster shard node
+	StageGraphRepair                 // incremental HNSW maintenance pass (hnsw.Repair)
+	StageTierWarmLookup              // warm-tier directory probe + vector reads (internal/tier)
+	StageTierPromote                 // warm hit re-inserted into the hot tier
+	StageTierDemote                  // hot-tier eviction absorbed into the warm tier
 	numStages
 )
 
@@ -34,6 +37,9 @@ var stageNames = [numStages]string{
 	"db_search",
 	"node_rpc",
 	"graph_repair",
+	"tier_warm_lookup",
+	"tier_promote",
+	"tier_demote",
 }
 
 // String returns the stage's label ("cache_lookup", ...).

@@ -9,7 +9,7 @@ import (
 )
 
 func TestStageNames(t *testing.T) {
-	want := []string{"cache_lookup", "cache_fill", "coalesce_wait", "batch_queue", "db_search", "node_rpc", "graph_repair"}
+	want := []string{"cache_lookup", "cache_fill", "coalesce_wait", "batch_queue", "db_search", "node_rpc", "graph_repair", "tier_warm_lookup", "tier_promote", "tier_demote"}
 	stages := Stages()
 	if len(stages) != len(want) {
 		t.Fatalf("Stages() = %d entries, want %d", len(stages), len(want))

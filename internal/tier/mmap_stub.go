@@ -1,0 +1,20 @@
+//go:build !unix
+
+package tier
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func munmapFile(b []byte) error { return nil }
+
+// unlinkOpenFile is a no-op where open files cannot be unlinked; the
+// store removes the file on Close instead.
+func unlinkOpenFile(f *os.File) {}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package tier
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether the warm record file can be mapped into
+// memory on this platform; when false the store falls back to
+// ReadAt/WriteAt with a reusable scratch buffer.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-write and shared, so warm vector
+// reads are plain memory loads with the page cache as the only copy.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}
+
+// unlinkOpenFile removes the warm file's directory entry while keeping
+// the descriptor open: the kernel reclaims the space when the process
+// exits, so a crash can never leak warm scratch files.
+func unlinkOpenFile(f *os.File) {
+	os.Remove(f.Name())
+}

@@ -1,0 +1,77 @@
+package tier
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"proximity/internal/core"
+)
+
+// Cold tier: the tiered cache persists through the variant-agnostic
+// entry snapshot of internal/core. Writing serializes the combined
+// contents in eviction order (warm then hot); loading replays them
+// through PutWithTolerance, which re-layers the hierarchy exactly — the
+// oldest entries fill the hot tier first and cascade into the warm tier
+// as younger ones displace them, ending with the youngest H entries hot
+// and the rest warm, the same layering the original process had.
+
+// WriteSnapshot serializes the combined contents to w.
+func (t *TieredCache) WriteSnapshot(w io.Writer) error {
+	return core.WriteEntrySnapshot(w, t.dim, t)
+}
+
+// LoadSnapshot refills the cache from a snapshot written by any
+// core.EntrySource (a previous tiered cache, or a single-tier cache
+// being upgraded to tiered). Existing entries are kept; counters are
+// reset afterwards so the new process observes a clean lifetime.
+// Snapshots from a newer format return an error wrapping
+// core.ErrSnapshotVersion.
+func (t *TieredCache) LoadSnapshot(r io.Reader) error {
+	dim, entries, err := core.ReadEntrySnapshot(r)
+	if err != nil {
+		return err
+	}
+	if dim != t.dim {
+		return fmt.Errorf("tier: snapshot dimension %d does not match cache dimension %d", dim, t.dim)
+	}
+	for _, e := range entries {
+		t.PutWithTolerance(e.Key, e.Docs, e.Tol)
+	}
+	t.resetStats()
+	return nil
+}
+
+// resetStats zeroes the lifetime counters, folding the hot tier's
+// current counters into the subtracted baseline (core caches have no
+// external reset).
+func (t *TieredCache) resetStats() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hotBase = t.hot.Stats()
+	t.misses = 0
+	t.warmHits = 0
+	t.promotions = 0
+	t.demotions = 0
+	t.discards = 0
+	t.warm.lookups = 0
+	t.warm.scanned = 0
+	t.warm.pruned = 0
+	t.warm.comps = 0
+}
+
+// SaveSnapshotFile writes the snapshot to path crash-safely (temp file
+// and rename): a crash mid-write leaves the previous snapshot intact.
+func (t *TieredCache) SaveSnapshotFile(path string) error {
+	return core.WriteFileAtomic(path, t.WriteSnapshot)
+}
+
+// LoadSnapshotFile refills the cache from a snapshot file.
+func (t *TieredCache) LoadSnapshotFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.LoadSnapshot(f)
+}

@@ -1,0 +1,364 @@
+// Package tier implements a hot/warm/cold cache hierarchy over the
+// Proximity variants in internal/core.
+//
+// The hot tier is a small in-memory cache (flat, LSH, or graph-indexed —
+// anything satisfying core.TierCache). The warm tier is a larger
+// file-backed store that absorbs hot-tier evictions instead of letting
+// them be discarded (demotion), and hands entries back on a warm hit
+// (promotion, LRU only). The cold tier is the on-disk snapshot format of
+// internal/core: a tiered cache serializes its combined contents in
+// eviction order and refills by replay, so a restart resumes with the
+// whole hierarchy warm.
+//
+// The composition is semantically conservative: a TieredCache with hot
+// capacity H and warm capacity W admits, hits, and evicts exactly like a
+// single flat cache of capacity H+W (whenever the closest admissible
+// distance is unique — float ties between distinct keys break toward the
+// hot tier where a flat scan's break is scan-order-dependent). The
+// invariant maintained throughout is that the combined eviction order is
+// the warm tier's order followed by the hot tier's: every warm entry is
+// older than every hot entry, demotion moves the hot front onto the warm
+// back, and a full warm tier discards its front — the globally oldest
+// entry, exactly the one the equivalent flat cache would evict.
+package tier
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"proximity/internal/core"
+	"proximity/internal/telemetry"
+	"proximity/internal/vec"
+)
+
+// Options configures a TieredCache.
+type Options struct {
+	// HotCapacity is the in-memory hot tier's entry limit. Must be
+	// positive.
+	HotCapacity int
+	// WarmCapacity is the file-backed warm tier's entry limit. Must be
+	// positive; typical deployments size it 4–16× the hot tier.
+	WarmCapacity int
+	// Tolerance is the cache-wide similarity threshold τ (per-entry
+	// tolerances from PutWithTolerance override it per line).
+	Tolerance float32
+	// Metric is the distance function. The warm tier's pivot pruning
+	// needs the triangle inequality, so only L2 gets sub-linear warm
+	// lookups; cosine and inner-product fall back to an exact warm scan.
+	Metric vec.Metric
+	// Policy is the eviction strategy. Under LRU a warm hit promotes the
+	// entry back into the hot tier; under FIFO warm hits are served in
+	// place (promotion would reorder the combined eviction sequence).
+	Policy core.Policy
+	// NewHot builds the hot tier. base carries the capacity, tolerance,
+	// metric, policy, and the demotion hook the tiered cache needs wired
+	// in; implementations must honor all of them (passing base through to
+	// core.NewFlat, or copying its fields into a variant's options — see
+	// IndexedHot and LSHHot). Nil means a flat hot tier, the only variant
+	// for which the flat-equivalence property holds exactly.
+	NewHot func(dim int, base core.Options) (core.TierCache, error)
+	// Dir is where the warm tier's record file is created (os.TempDir()
+	// when empty). The file is scratch, not persistence — cold restarts
+	// go through snapshots.
+	Dir string
+	// Seed drives the warm tier's pivot draw.
+	Seed uint64
+	// Telemetry, when set, records tier_warm_lookup / tier_promote /
+	// tier_demote stage latencies.
+	Telemetry *telemetry.StageSet
+}
+
+// TieredCache composes a hot core cache over a warm file-backed store.
+// It implements core.Cache, core.EntrySource, core.TierStatser, and
+// io.Closer. All operations serialize on one mutex: the hot tier's own
+// locks are uncontended below it, and the demotion hook (which fires
+// under the hot tier's lock) only ever appends to a buffer owned by the
+// same mutex.
+type TieredCache struct {
+	dim  int
+	opts Options
+
+	mu      sync.Mutex
+	hot     core.TierCache
+	warm    *warmStore
+	pending []core.Entry // demotions handed over by the hot tier's OnEvict
+	hotBase core.Stats   // hot counters at the last reset (snapshot load)
+
+	misses     int64
+	warmHits   int64
+	promotions int64
+	demotions  int64
+	discards   int64
+
+	telem *telemetry.StageSet
+}
+
+var (
+	_ core.Cache       = (*TieredCache)(nil)
+	_ core.EntrySource = (*TieredCache)(nil)
+	_ core.TierStatser = (*TieredCache)(nil)
+)
+
+// New creates a tiered cache for dim-dimensional embeddings.
+func New(dim int, opts Options) (*TieredCache, error) {
+	if opts.HotCapacity <= 0 {
+		return nil, fmt.Errorf("tier: hot capacity must be positive, got %d", opts.HotCapacity)
+	}
+	if opts.WarmCapacity <= 0 {
+		return nil, fmt.Errorf("tier: warm capacity must be positive, got %d", opts.WarmCapacity)
+	}
+	if opts.Metric == 0 {
+		opts.Metric = vec.L2Distance
+	}
+	if opts.Policy == 0 {
+		opts.Policy = core.FIFO
+	}
+	t := &TieredCache{dim: dim, opts: opts, telem: opts.Telemetry}
+	base := core.Options{
+		Capacity:  opts.HotCapacity,
+		Tolerance: opts.Tolerance,
+		Metric:    opts.Metric,
+		Policy:    opts.Policy,
+		OnEvict: func(e core.Entry) {
+			// Runs under the hot tier's lock, which is only ever taken
+			// while t.mu is held, so the buffer needs no extra locking.
+			// The warm insert happens after the hot operation returns:
+			// the hook must not re-enter the hot tier, and the warm
+			// store may reuse record slots only once the hot tier has
+			// finished cloning its own inputs.
+			t.pending = append(t.pending, e)
+		},
+	}
+	newHot := opts.NewHot
+	if newHot == nil {
+		newHot = func(dim int, base core.Options) (core.TierCache, error) {
+			return core.NewFlat(dim, base)
+		}
+	}
+	hot, err := newHot(dim, base)
+	if err != nil {
+		return nil, fmt.Errorf("tier: build hot tier: %w", err)
+	}
+	warm, err := newWarmStore(dim, opts.WarmCapacity, opts.Metric, opts.Dir, opts.Seed)
+	if err != nil {
+		if closer, ok := hot.(interface{ Close() error }); ok {
+			closer.Close()
+		}
+		return nil, err
+	}
+	t.hot = hot
+	t.warm = warm
+	return t, nil
+}
+
+// IndexedHot returns a NewHot factory building a graph-indexed hot tier.
+// The capacity, tolerance, metric, policy, and demotion hook come from
+// the tiered cache; the remaining IndexedOptions fields (graph degree,
+// efSearch, crossover, maintenance cadence, seed) come from opts.
+func IndexedHot(opts core.IndexedOptions) func(dim int, base core.Options) (core.TierCache, error) {
+	return func(dim int, base core.Options) (core.TierCache, error) {
+		opts.Capacity = base.Capacity
+		opts.Tolerance = base.Tolerance
+		opts.Metric = base.Metric
+		opts.Policy = base.Policy
+		opts.OnEvict = base.OnEvict
+		return core.NewIndexed(dim, opts)
+	}
+}
+
+// LSHHot returns a NewHot factory building an LSH hot tier. LSH capacity
+// is per-bucket (total 2^L·b), so opts.BucketCapacity is kept as given
+// rather than overwritten with the tiered hot capacity; the
+// flat-equivalence property does not hold for an LSH hot tier, which
+// misses entries its probes don't reach.
+func LSHHot(opts core.LSHOptions) func(dim int, base core.Options) (core.TierCache, error) {
+	return func(dim int, base core.Options) (core.TierCache, error) {
+		opts.Tolerance = base.Tolerance
+		opts.Metric = base.Metric
+		opts.Policy = base.Policy
+		opts.OnEvict = base.OnEvict
+		return core.NewLSH(dim, opts)
+	}
+}
+
+// Get consults both tiers and serves the globally closest admissible
+// entry: the hot candidate is fetched without side effects (TierGet),
+// the warm tier is probed with the hot distance as the beat-this bound,
+// and only the winner's bookkeeping runs. A warm win under LRU promotes
+// the entry back into the hot tier, demoting the hot front if full.
+func (t *TieredCache) Get(q vec.Vector) ([]int, bool) {
+	if q == nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	hit, hotOK := t.hot.TierGet(q)
+	bound := float32(math.Inf(1))
+	if hotOK {
+		bound = hit.Dist
+	}
+	start := time.Now()
+	we, _, warmOK := t.warm.lookup(q, bound)
+	t.telem.Observe(telemetry.StageTierWarmLookup, time.Since(start))
+	if warmOK {
+		t.warmHits++
+		docs := append([]int(nil), we.docs...)
+		if t.opts.Policy == core.LRU {
+			t.promoteLocked(we)
+		}
+		return docs, true
+	}
+	if hotOK {
+		hit.Commit()
+		return hit.Docs, true
+	}
+	t.misses++
+	return nil, false
+}
+
+// promoteLocked moves a warm entry into the hot tier: clone the key out
+// of the record file, detach the warm entry, insert hot. If the hot tier
+// is full its front demotes onto the warm back — the last-of-warm and
+// first-of-hot positions are adjacent in the combined order, so the swap
+// preserves it exactly as a flat LRU's MoveToBack would.
+func (t *TieredCache) promoteLocked(we *warmEntry) {
+	start := time.Now()
+	key := t.warm.readKey(we)
+	t.warm.remove(we)
+	t.hot.PutWithTolerance(key, we.docs, we.tol)
+	t.drainPendingLocked()
+	t.promotions++
+	t.telem.Observe(telemetry.StageTierPromote, time.Since(start))
+}
+
+// drainPendingLocked absorbs buffered hot-tier evictions into the warm
+// tier. A full warm tier discards its oldest entry — the tiered cache's
+// true eviction.
+func (t *TieredCache) drainPendingLocked() {
+	for i, e := range t.pending {
+		start := time.Now()
+		if t.warm.insert(e) {
+			t.discards++
+		}
+		t.demotions++
+		t.pending[i] = core.Entry{}
+		t.telem.Observe(telemetry.StageTierDemote, time.Since(start))
+	}
+	t.pending = t.pending[:0]
+}
+
+// Put caches the pair under the cache-wide tolerance.
+func (t *TieredCache) Put(q vec.Vector, docs []int) {
+	t.PutWithTolerance(q, docs, t.opts.Tolerance)
+}
+
+// PutWithTolerance inserts into the hot tier; a displaced hot entry
+// demotes to the warm tier rather than being discarded.
+func (t *TieredCache) PutWithTolerance(q vec.Vector, docs []int, tol float32) {
+	if q == nil || tol < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hot.PutWithTolerance(q, docs, tol)
+	t.drainPendingLocked()
+}
+
+// Len returns the total entries across both tiers.
+func (t *TieredCache) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hot.Len() + t.warm.len()
+}
+
+// Capacity returns the combined capacity H+W.
+func (t *TieredCache) Capacity() int {
+	return t.opts.HotCapacity + t.opts.WarmCapacity
+}
+
+// Tolerance returns the cache-wide similarity threshold τ.
+func (t *TieredCache) Tolerance() float32 { return t.opts.Tolerance }
+
+// Policy returns the eviction policy.
+func (t *TieredCache) Policy() core.Policy { return t.opts.Policy }
+
+// Stats assembles combined counters so the tiered cache reads like the
+// single cache it emulates: hits from either tier count as hits, only
+// warm discards count as evictions (demotions are internal movement),
+// and promotion re-inserts are subtracted from Puts.
+func (t *TieredCache) Stats() core.Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	hs := subStats(t.hot.Stats(), t.hotBase)
+	return core.Stats{
+		Hits:      hs.Hits + t.warmHits,
+		Misses:    t.misses,
+		Puts:      hs.Puts - t.promotions,
+		Evictions: t.discards,
+		DistComps: hs.DistComps + t.warm.comps,
+		HashOps:   hs.HashOps,
+	}
+}
+
+// TierStats reports the per-tier breakdown.
+func (t *TieredCache) TierStats() core.TierStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	hs := subStats(t.hot.Stats(), t.hotBase)
+	return core.TierStats{
+		HotEntries:   t.hot.Len(),
+		HotCapacity:  t.hot.Capacity(),
+		WarmEntries:  t.warm.len(),
+		WarmCapacity: t.opts.WarmCapacity,
+		WarmBytes:    t.warm.bytes(),
+		HotHits:      hs.Hits,
+		WarmHits:     t.warmHits,
+		Promotions:   t.promotions,
+		Demotions:    t.demotions,
+		WarmDiscards: t.discards,
+		WarmLookups:  t.warm.lookups,
+		WarmScanned:  t.warm.scanned,
+		WarmPruned:   t.warm.pruned,
+	}
+}
+
+func subStats(a, b core.Stats) core.Stats {
+	return core.Stats{
+		Hits:      a.Hits - b.Hits,
+		Misses:    a.Misses - b.Misses,
+		Puts:      a.Puts - b.Puts,
+		Evictions: a.Evictions - b.Evictions,
+		DistComps: a.DistComps - b.DistComps,
+		HashOps:   a.HashOps - b.HashOps,
+	}
+}
+
+// Entries returns the combined contents in eviction order: warm (oldest)
+// first, then hot — re-inserting them in order through an empty cache of
+// capacity ≥ H+W reproduces contents and eviction sequence. Implements
+// core.EntrySource.
+func (t *TieredCache) Entries() []core.Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append(t.warm.entries(), t.hot.Entries()...)
+}
+
+// Clear drops all entries in both tiers (counters preserved).
+func (t *TieredCache) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hot.Clear()
+	t.pending = t.pending[:0]
+	t.warm.clear()
+}
+
+// Close releases the warm tier's record file and mapping. The cache must
+// not be used afterwards.
+func (t *TieredCache) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.warm.close()
+}

@@ -159,6 +159,15 @@
 //     ~10-50x costlier than FLAT's, so it fits read-heavy caches of
 //     10k+ entries — the regime the paper's middleware serves.
 //     NewShardedIndexedCache composes it with sharding for concurrency.
+//   - TIERED: a small hot tier at in-memory speed over a much larger
+//     memory-mapped warm tier — total admission semantics bit-identical
+//     to one FLAT cache of the combined capacity, at a fraction of the
+//     heap. The right choice when the working set is far larger than
+//     the memory budget, or when warm restart matters (the cold-tier
+//     snapshot survives process death). Hot-path cost stays within
+//     ~10% of a FLAT cache the hot tier's size (BENCH_tiered.json);
+//     deep hits pay the warm scan, so size the hot tier to the
+//     traffic's head.
 //
 // Under sustained churn (evictions recycling graph slots), the indexed
 // cache repairs stale incoming edges at reuse time automatically, and
@@ -185,6 +194,47 @@
 // `proximity-bench -experiment annindex` measures the three variants
 // head-to-head, `-experiment churn` measures recall decay and repair
 // under eviction churn, and both write BENCH_*.json files.
+//
+// # Tiered cache hierarchy
+//
+// At production scale the working set outgrows any single memory
+// budget, and a restart (deploy, crash, autoscale) throws the whole
+// cache away and stampedes the vector database. NewTieredCache layers
+// three tiers so neither has to happen:
+//
+//   - HOT: a full in-memory cache (FLAT by default, LSH via
+//     TieredOptions.NewHot) sized to the traffic's head.
+//   - WARM: a memory-mapped fixed-record vector file with an in-memory
+//     directory — entries the hot tier would have evicted are demoted
+//     here instead, searchable via norm-windowed, pivot-pruned scans,
+//     at file-cache cost rather than heap cost.
+//   - COLD: a versioned on-disk snapshot (WriteSnapshot/SaveSnapshotFile)
+//     that brings both tiers back after a restart, so a redeployed or
+//     newly joined node starts warm instead of hammering the database.
+//
+// Eviction demotes instead of discarding; a warm hit under the LRU
+// policy promotes the entry back into the hot tier. The combined
+// hierarchy admits and evicts bit-identically to a single FLAT cache of
+// the summed capacity (property-tested), so τ semantics are unchanged —
+// only the cost model moves:
+//
+//	cache, _ := proximity.NewTieredCache(768, proximity.TieredOptions{
+//		HotCapacity: 100_000, WarmCapacity: 1_600_000,
+//		Tolerance: 5, Policy: proximity.LRU, Dir: "/var/cache/proximity",
+//	})
+//	defer cache.Close()
+//
+// NewShardedTieredCache partitions the hierarchy across
+// independently-locked shards (per-shard warm files and snapshots,
+// Reseed-safe). TierStats (via the TierStatser interface, the server's
+// /v1/stats tiers block, and the proximity_tier_* Prometheus series)
+// reports per-tier occupancy and the demotion/promotion/discard flows.
+// `proximity-server -tier-warm N -tier-dir PATH -snapshot PATH` deploys
+// it with snapshot-on-shutdown and load-on-start, and `proximity-bench
+// -experiment tiered` measures the hierarchy against a hot-sized FLAT
+// cache — the committed BENCH_tiered.json shows the hot path within
+// ~9% at 1:4 and 1:16 warm ratios, +0.50 hit-rate uplift from the warm
+// tier, and full hit-rate recovery across a snapshot restart.
 //
 // # Observability
 //
@@ -241,6 +291,7 @@ import (
 	"proximity/internal/rebalance"
 	"proximity/internal/shard"
 	"proximity/internal/telemetry"
+	"proximity/internal/tier"
 	"proximity/internal/vec"
 	"proximity/internal/vectordb"
 	"proximity/internal/workload"
@@ -276,6 +327,13 @@ type (
 	MaintenanceOptions = core.MaintenanceOptions
 	// IndexStats describe the graph behind an indexed cache.
 	IndexStats = core.IndexStats
+	// TieredCache is the hot/warm/cold cache hierarchy (in-memory hot
+	// tier, memory-mapped warm tier, snapshot cold tier).
+	TieredCache = tier.TieredCache
+	// TieredOptions configures a TieredCache.
+	TieredOptions = tier.Options
+	// TierStats are cumulative per-tier counters and gauges.
+	TierStats = core.TierStats
 	// Retriever is the cache-in-front-of-database retrieval path.
 	Retriever = core.CachedRetriever
 	// RetrieverOptions configures a Retriever.
@@ -470,6 +528,29 @@ func NewIndexedCache(dim int, opts IndexedOptions) (*IndexedCache, error) {
 // derives each shard's graph seed.
 func NewShardedIndexedCache(dim, shards int, opts IndexedOptions, seed uint64) (*ShardedCache, error) {
 	return shard.NewIndexed(dim, shards, opts, seed)
+}
+
+// NewTieredCache creates a hot/warm/cold cache hierarchy: an in-memory
+// hot tier of HotCapacity entries over a memory-mapped warm tier of
+// WarmCapacity entries (backed by a vector file under Dir), with
+// eviction demoting to warm instead of discarding and — under the LRU
+// policy — warm hits promoting back to hot. Admission and eviction are
+// bit-identical to a single FLAT cache of the combined capacity. Close
+// releases the warm mapping; SaveSnapshotFile/LoadSnapshotFile persist
+// and restore both tiers for warm restart. See the package doc's tiered
+// section for sizing guidance.
+func NewTieredCache(dim int, opts TieredOptions) (*TieredCache, error) {
+	return tier.New(dim, opts)
+}
+
+// NewShardedTieredCache partitions a tiered hierarchy across `shards`
+// independently-locked sub-caches (0 = one per CPU). Hot and warm
+// capacities are totals across shards; each shard keeps its own warm
+// file under TieredOptions.Dir, and WriteSnapshots/LoadSnapshots on the
+// result persist per-shard cold snapshots. seed fixes the shard
+// routing.
+func NewShardedTieredCache(dim, shards int, opts TieredOptions, seed uint64) (*ShardedCache, error) {
+	return shard.NewTiered(dim, shards, opts, seed)
 }
 
 // NewRetriever wires a cache in front of a vector database. cache may be
