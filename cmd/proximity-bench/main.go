@@ -74,6 +74,7 @@ import (
 	"strings"
 	"time"
 
+	"proximity/internal/core"
 	"proximity/internal/experiments"
 )
 
@@ -325,17 +326,11 @@ func parseEntryCounts(s string) ([]int, error) {
 	return out, nil
 }
 
-// writeBenchJSON persists an experiment result as a BENCH_*.json artifact.
+// writeBenchJSON persists an experiment result as a BENCH_*.json
+// artifact, atomically: plot scripts and CI consumers may read the path
+// while a rerun is in flight, and must never see a torn file.
 func writeBenchJSON(path string, res interface{ WriteJSON(io.Writer) error }) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := res.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return core.WriteFileAtomic(path, res.WriteJSON)
 }
 
 // selectFigures resolves the -experiment list against the available set.

@@ -1,0 +1,69 @@
+// Command proximity-vet runs the repo's static-analysis suite
+// (internal/lint) over the named package patterns and exits non-zero
+// on findings. CI runs it next to go vet:
+//
+//	go run ./cmd/proximity-vet ./...
+//
+// Flags:
+//
+//	-analyzers a,b   run only the named analyzers (default: all)
+//	-list            print the suite and exit
+//
+// Findings print as file:line:col: analyzer: message. Suppress an
+// intentional finding with //proximity:allow <analyzer> <reason> on or
+// directly above the flagged line; mark zero-alloc functions with
+// //proximity:hotpath in their doc comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"proximity/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("proximity-vet", flag.ContinueOnError)
+	only := fs.String("analyzers", "", "comma-separated subset of analyzers to run")
+	list := fs.Bool("list", false, "print the analyzer suite and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers, err := lint.ByName(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		for _, f := range lint.Run(pkg, analyzers) {
+			fmt.Println(f)
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "proximity-vet: %d finding(s) in %d package(s)\n", total, len(pkgs))
+		return 1
+	}
+	return 0
+}

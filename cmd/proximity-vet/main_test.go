@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0", code)
+	}
+}
+
+func TestRunUnknownAnalyzer(t *testing.T) {
+	if code := run([]string{"-analyzers", "nosuch"}); code != 2 {
+		t.Fatalf("run(-analyzers nosuch) = %d, want 2", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-definitely-not-a-flag"}); code != 2 {
+		t.Fatalf("run(bad flag) = %d, want 2", code)
+	}
+}
+
+func TestRunCleanPackage(t *testing.T) {
+	if code := run([]string{"proximity/internal/telemetry"}); code != 0 {
+		t.Fatalf("run(internal/telemetry) = %d, want 0 (clean tree)", code)
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	if code := run([]string{"proximity/no/such/package"}); code != 2 {
+		t.Fatalf("run(bogus pattern) = %d, want 2", code)
+	}
+}

@@ -14,9 +14,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
+	"proximity/internal/core"
 	"proximity/internal/dataset"
 	"proximity/internal/report"
 	"proximity/internal/zipf"
@@ -100,18 +102,15 @@ func run(args []string) error {
 }
 
 func writeCSV(path string, freqs []int) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if _, err := fmt.Fprintln(f, "rank,frequency"); err != nil {
-		return err
-	}
-	for i, c := range freqs {
-		if _, err := fmt.Fprintf(f, "%d,%d\n", i+1, c); err != nil {
+	return core.WriteFileAtomic(path, func(w io.Writer) error {
+		if _, err := fmt.Fprintln(w, "rank,frequency"); err != nil {
 			return err
 		}
-	}
-	return f.Close()
+		for i, c := range freqs {
+			if _, err := fmt.Fprintf(w, "%d,%d\n", i+1, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }

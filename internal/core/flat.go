@@ -62,6 +62,8 @@ func NewFlat(dim int, opts Options) (*FlatCache, error) {
 // within its tolerance (lines 2-5 of Algorithm 1). Entries inserted with
 // Put use the cache-wide τ; PutWithTolerance entries use their own. Under
 // LRU the matched entry's recency is refreshed.
+//
+//proximity:hotpath
 func (c *FlatCache) Get(q vec.Vector) ([]int, bool) {
 	if q == nil {
 		return nil, false
@@ -78,6 +80,7 @@ func (c *FlatCache) Get(q vec.Vector) ([]int, bool) {
 	if c.opts.Policy == LRU {
 		c.order.MoveToBack(scan.admissible.elem)
 	}
+	//proximity:allow hotpathalloc the budgeted caller-owned docs copy (Get's one allocation)
 	out := make([]int, len(scan.admissible.docs))
 	copy(out, scan.admissible.docs)
 	return out, true
@@ -117,6 +120,8 @@ func (c *FlatCache) PeekAdmissible(q vec.Vector) (dist float32, ok bool) {
 // recency, plus a deferred Commit that applies those side effects if
 // the tiered cache decides this candidate won. Distance computations
 // are charged as usual.
+//
+//proximity:hotpath
 func (c *FlatCache) TierGet(q vec.Vector) (TierHit, bool) {
 	if q == nil {
 		return TierHit{}, false
@@ -127,23 +132,24 @@ func (c *FlatCache) TierGet(q vec.Vector) (TierHit, bool) {
 		c.mu.RUnlock()
 		return TierHit{}, false
 	}
+	//proximity:allow hotpathalloc the budgeted caller-owned docs copy (TierGet's one allocation)
 	docs := append([]int(nil), scan.admissible.docs...)
 	elem := scan.admissible.elem
 	c.mu.RUnlock()
-	return TierHit{
-		Docs: docs,
-		Dist: scan.admissibleDist,
-		commit: func() {
-			c.mu.Lock()
-			defer c.mu.Unlock()
-			c.stats.Hits++
-			// MoveToBack no-ops if the entry was evicted between the
-			// lookup and the commit (its element left the list).
-			if c.opts.Policy == LRU {
-				c.order.MoveToBack(elem)
-			}
-		},
-	}, true
+	return TierHit{Docs: docs, Dist: scan.admissibleDist, src: c, elem: elem}, true
+}
+
+// commitTierHit applies a won TierGet's deferred side effects: the hit
+// count and, under LRU, the recency refresh. MoveToBack no-ops if the
+// entry was evicted between the lookup and the commit (its element left
+// the list).
+func (c *FlatCache) commitTierHit(elem *list.Element) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Hits++
+	if c.opts.Policy == LRU {
+		c.order.MoveToBack(elem)
+	}
 }
 
 // scanResult carries both views of a linear scan: the globally closest

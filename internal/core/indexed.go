@@ -212,6 +212,8 @@ func (c *IndexedCache) newGraph() (*hnsw.Index, error) {
 // Get returns the documents of the closest cached entry whose tolerance
 // admits q. Large caches route through the graph; below the crossover an
 // exact linear scan is cheaper.
+//
+//proximity:hotpath
 func (c *IndexedCache) Get(q vec.Vector) ([]int, bool) {
 	if q == nil || len(q) != c.dim {
 		return nil, false
@@ -237,6 +239,7 @@ func (c *IndexedCache) Get(q vec.Vector) ([]int, bool) {
 	if c.opts.Policy == LRU {
 		c.order.MoveToBack(best.elem)
 	}
+	//proximity:allow hotpathalloc the budgeted caller-owned docs copy (Get's one allocation)
 	out := make([]int, len(best.docs))
 	copy(out, best.docs)
 	return out, true
@@ -246,6 +249,8 @@ func (c *IndexedCache) Get(q vec.Vector) ([]int, bool) {
 // candidate search without hit/miss counting or LRU refresh, plus a
 // deferred Commit applying those side effects. The graph path's recall
 // caveat carries over: a candidate the beam misses is a miss here too.
+//
+//proximity:hotpath
 func (c *IndexedCache) TierGet(q vec.Vector) (TierHit, bool) {
 	if q == nil || len(q) != c.dim {
 		return TierHit{}, false
@@ -268,21 +273,23 @@ func (c *IndexedCache) TierGet(q vec.Vector) (TierHit, bool) {
 	// Re-derive the winning exact distance (the scans don't return it);
 	// one uncharged computation against the already-chosen entry.
 	d := c.dist(q, best.key)
+	//proximity:allow hotpathalloc the budgeted caller-owned docs copy (TierGet's one allocation)
 	docs := append([]int(nil), best.docs...)
 	elem := best.elem
 	c.mu.Unlock()
-	return TierHit{
-		Docs: docs,
-		Dist: d,
-		commit: func() {
-			c.mu.Lock()
-			defer c.mu.Unlock()
-			c.stats.Hits++
-			if c.opts.Policy == LRU {
-				c.order.MoveToBack(elem)
-			}
-		},
-	}, true
+	return TierHit{Docs: docs, Dist: d, src: c, elem: elem}, true
+}
+
+// commitTierHit applies a won TierGet's deferred side effects: the hit
+// count and, under LRU, the recency refresh. MoveToBack no-ops if the
+// entry was evicted between the lookup and the commit.
+func (c *IndexedCache) commitTierHit(elem *list.Element) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Hits++
+	if c.opts.Policy == LRU {
+		c.order.MoveToBack(elem)
+	}
 }
 
 // scanExact is the sub-crossover fallback: an exact scan over live slots

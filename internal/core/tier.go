@@ -1,6 +1,10 @@
 package core
 
-import "proximity/internal/vec"
+import (
+	"container/list"
+
+	"proximity/internal/vec"
+)
 
 // Tiering contracts: internal/tier composes a small hot cache (any
 // variant in this package) over a larger file-backed warm tier. The hot
@@ -18,16 +22,30 @@ import "proximity/internal/vec"
 // refresh) on the cache that produced it; a TierHit that loses to a
 // warm entry is simply dropped. Commit must be called before any other
 // mutation of the producing cache.
+//
+// The producing cache and the winning entry's list element ride along
+// as plain fields rather than a captured closure: TierGet sits on the
+// tiered lookup's hot path, and a closure capturing the cache and
+// element would cost one heap allocation per hot hit.
 type TierHit struct {
-	Docs   []int
-	Dist   float32
-	commit func()
+	Docs []int
+	Dist float32
+
+	src  tierCommitter
+	elem *list.Element
+}
+
+// tierCommitter is the cache-side half of the two-phase lookup: apply
+// the deferred hit bookkeeping (hit counter, LRU refresh) for the entry
+// at elem. Implemented by the cache variants that serve as hot tiers.
+type tierCommitter interface {
+	commitTierHit(elem *list.Element)
 }
 
 // Commit applies the deferred hit bookkeeping. Safe on the zero value.
 func (h TierHit) Commit() {
-	if h.commit != nil {
-		h.commit()
+	if h.src != nil {
+		h.src.commitTierHit(h.elem)
 	}
 }
 

@@ -66,13 +66,16 @@ func (s *Suite) MMLU() (*dataset.Benchmark, vectordb.DB, error) {
 		Seed:         s.cfg.BaseSeed + 1,
 	})
 	if err != nil {
+		//proximity:allow lockdiscipline cold error path; the lazy-init builder holds the lock for the whole build by design
 		return nil, nil, fmt.Errorf("experiments: mmlu benchmark: %w", err)
 	}
 	ix, err := hnsw.New(s.cfg.Dim, vec.L2Distance, hnsw.Config{Seed: s.cfg.BaseSeed + 2})
 	if err != nil {
+		//proximity:allow lockdiscipline cold error path; the lazy-init builder holds the lock for the whole build by design
 		return nil, nil, fmt.Errorf("experiments: mmlu index: %w", err)
 	}
 	if err := ix.Add(bench.Corpus.Embeddings...); err != nil {
+		//proximity:allow lockdiscipline cold error path; the lazy-init builder holds the lock for the whole build by design
 		return nil, nil, fmt.Errorf("experiments: mmlu index build: %w", err)
 	}
 	s.mmlu, s.mmluDB = bench, ix
@@ -95,10 +98,12 @@ func (s *Suite) MedRAG() (full, subset *dataset.Benchmark, db vectordb.DB, err e
 		Seed:         s.cfg.BaseSeed + 3,
 	})
 	if err != nil {
+		//proximity:allow lockdiscipline cold error path; the lazy-init builder holds the lock for the whole build by design
 		return nil, nil, nil, fmt.Errorf("experiments: medrag benchmark: %w", err)
 	}
 	flat, err := vectordb.NewFlatFromVectors(bench.Corpus.Embeddings, vec.L2Distance)
 	if err != nil {
+		//proximity:allow lockdiscipline cold error path; the lazy-init builder holds the lock for the whole build by design
 		return nil, nil, nil, fmt.Errorf("experiments: medrag index: %w", err)
 	}
 	s.medrag = bench
@@ -123,12 +128,14 @@ func (s *Suite) TripClick() (*dataset.TripClickLog, *vamana.Index, error) {
 		Seed:          s.cfg.BaseSeed + 5,
 	})
 	if err != nil {
+		//proximity:allow lockdiscipline cold error path; the lazy-init builder holds the lock for the whole build by design
 		return nil, nil, fmt.Errorf("experiments: tripclick log: %w", err)
 	}
 	ix, err := vamana.Build(log.Bench.Corpus.Embeddings, vec.L2Distance, vamana.Config{
 		Seed: s.cfg.BaseSeed + 6,
 	})
 	if err != nil {
+		//proximity:allow lockdiscipline cold error path; the lazy-init builder holds the lock for the whole build by design
 		return nil, nil, fmt.Errorf("experiments: tripclick index: %w", err)
 	}
 	s.trip, s.tripDB = log, ix

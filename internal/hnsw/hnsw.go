@@ -918,6 +918,8 @@ func (ix *Index) SearchEf(q vec.Vector, k, ef int) ([]vec.Scored, error) {
 // buffer. With Config.Quantized the returned distances are asymmetric
 // int8 approximations intended for candidate ranking; re-rank with the
 // exact kernel before threshold comparisons.
+//
+//proximity:hotpath
 func (ix *Index) SearchInto(dst []vec.Scored, q vec.Vector, k, ef int) ([]vec.Scored, error) {
 	if k <= 0 {
 		return nil, vectordb.ErrBadK
@@ -926,6 +928,7 @@ func (ix *Index) SearchInto(dst []vec.Scored, q vec.Vector, k, ef int) ([]vec.Sc
 		return nil, vectordb.ErrEmptyIndex
 	}
 	if len(q) != ix.dim {
+		//proximity:allow hotpathalloc cold rejection path, never taken by a well-formed caller
 		return nil, fmt.Errorf("hnsw: query dim %d, index dim %d: %w",
 			len(q), ix.dim, vec.ErrDimensionMismatch)
 	}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AtomicWrite bans raw os.WriteFile / os.Create in library and command
+// packages: snapshots, warm-tier directories, and BENCH_*.json
+// artifacts must go through core.WriteFileAtomic (temp file + fsync +
+// rename), so a crash mid-write can never leave a torn file where a
+// restarting server or a bench consumer expects a complete one. The
+// warm restart path loads whatever sits at -snapshot on boot — a torn
+// snapshot there turns a clean redeploy into a corrupt-cache incident.
+//
+// os.CreateTemp is allowed (it IS the safe pattern's first half, and
+// mutable record files like the warm tier's live store are not
+// write-once artifacts). Examples are exempt: they demonstrate APIs,
+// not production write paths. Intentional streaming writes carry
+// //proximity:allow atomicwrite with a reason.
+var AtomicWrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "artifact writes must use core.WriteFileAtomic, not raw os.WriteFile/os.Create",
+	Run:  runAtomicWrite,
+}
+
+func runAtomicWrite(p *Pass) {
+	path := p.Pkg.Path()
+	if !strings.HasPrefix(path, "proximity/internal/") && !strings.HasPrefix(path, "proximity/cmd/") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range []string{"WriteFile", "Create"} {
+				if p.isPkgFunc(call, "os", name) {
+					p.Reportf(call.Pos(), "os.%s writes non-atomically: use core.WriteFileAtomic so a crash cannot leave a torn artifact", name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BodyDrain generalizes the PR 4 keep-alive leak: an *http.Response
+// body that is Closed without ever being read leaves the connection
+// undrained, so net/http cannot return it to the keep-alive pool — the
+// next request to the same node pays a fresh TCP (and under load, the
+// pool leaks one connection per call until the node's fd budget is
+// gone; the cluster client's leak regression test counts exactly this).
+//
+// The check is per-function: for every *http.Response variable, if
+// .Body appears only as the receiver of Close() — never read, decoded,
+// drained, or handed to another function — the Close is flagged. Any
+// other use of the response (passed whole to a helper, Body handed to
+// io.Copy/json.Decoder) counts as a read, since the drain may happen
+// there.
+var BodyDrain = &Analyzer{
+	Name: "bodydrain",
+	Doc:  "drain *http.Response bodies before Close (keep-alive reuse)",
+	Run:  runBodyDrain,
+}
+
+func runBodyDrain(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.checkBodyUses(fd)
+		}
+	}
+}
+
+// isHTTPResponse reports whether t is *net/http.Response.
+func isHTTPResponse(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Response" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+func (p *Pass) checkBodyUses(fd *ast.FuncDecl) {
+	parents := buildParents(fd.Body)
+	type usage struct {
+		closePos  []ast.Node
+		otherUses int
+	}
+	uses := make(map[*types.Var]*usage)
+
+	record := func(v *types.Var) *usage {
+		u := uses[v]
+		if u == nil {
+			u = &usage{}
+			uses[v] = u
+		}
+		return u
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			obj = p.Info.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || !isHTTPResponse(v.Type()) {
+			return true
+		}
+		// Declared inside this function only.
+		if v.Pos() < fd.Pos() || v.Pos() >= fd.End() {
+			return true
+		}
+		if p.Info.Defs[id] != nil {
+			return true // the declaration itself is not a use
+		}
+		u := record(v)
+		// Climb: is this use resp.Body, and if so, is it Close()?
+		sel, ok := parents[id].(*ast.SelectorExpr)
+		if !ok || sel.X != id {
+			// resp used some other way (passed whole, reassigned):
+			// assume the body is handled there.
+			u.otherUses++
+			return true
+		}
+		if sel.Sel.Name != "Body" {
+			return true // resp.StatusCode etc.: neither read nor close
+		}
+		if closeSel, ok := parents[sel].(*ast.SelectorExpr); ok && closeSel.Sel.Name == "Close" {
+			if call, ok := parents[closeSel].(*ast.CallExpr); ok && call.Fun == closeSel {
+				u.closePos = append(u.closePos, call)
+				return true
+			}
+		}
+		u.otherUses++ // Body read, decoded, drained, or passed on
+		return true
+	})
+
+	for v, u := range uses {
+		if u.otherUses == 0 && len(u.closePos) > 0 {
+			p.Reportf(u.closePos[0].Pos(), "%s.Body closed without being drained: io.Copy(io.Discard, %s.Body) first or the connection cannot be reused (keep-alive leak)",
+				v.Name(), v.Name())
+		}
+	}
+}
+
+// buildParents maps every node in root to its parent.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

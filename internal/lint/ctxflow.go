@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces context threading: a function that receives a
+// context.Context must pass it along, not mint a fresh root. Two
+// defects are flagged. (1) Calling context.Background()/TODO() inside
+// a ctx-carrying function severs the trace — the callee's spans land
+// in no trace, cancellation stops propagating, and /v1/traces shows a
+// request that "did nothing" while the DB search it triggered runs
+// untracked. (2) Calling x.Foo(...) when x also has Foo-Context
+// (FooContext(ctx, ...)) — the repo's convention for instrumented
+// variants (Retrieve/RetrieveContext) — silently picks the untraced
+// path.
+//
+// Function literals are skipped: a goroutine detached from the request
+// lifetime legitimately roots a fresh context. Intentional detachments
+// in named functions carry //proximity:allow ctxflow with a reason.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "ctx-carrying functions must thread their Context into ctx-aware callees",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !p.hasCtxParam(fd) {
+				continue
+			}
+			p.checkCtxBody(fd)
+		}
+	}
+}
+
+// hasCtxParam reports whether fd declares a context.Context parameter.
+func (p *Pass) hasCtxParam(fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if t := p.Info.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pass) checkCtxBody(fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // detached lifetime; fresh roots are legitimate
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+				for _, name := range []string{"Background", "TODO"} {
+					if p.isPkgFunc(inner, "context", name) {
+						p.Reportf(inner.Pos(), "context.%s() inside a ctx-carrying function severs the trace: thread %s's Context instead", name, fd.Name.Name)
+					}
+				}
+			}
+		}
+		p.checkContextSibling(call)
+		return true
+	})
+}
+
+// checkContextSibling flags calls to a method or package function Foo
+// when a FooContext variant taking a leading context.Context exists.
+func (p *Pass) checkContextSibling(call *ast.CallExpr) {
+	fn := p.calleeFunc(call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || signatureTakesCtx(sig) {
+		return
+	}
+	sibling := fn.Name() + "Context"
+	if recv := p.recvNamed(call); recv != nil {
+		// Method: look for the sibling in the receiver's method set
+		// (pointer method set covers both).
+		ptr := types.NewPointer(recv)
+		for i, ms := 0, types.NewMethodSet(ptr); i < ms.Len(); i++ {
+			m := ms.At(i).Obj()
+			msig, ok := m.Type().(*types.Signature)
+			if m.Name() == sibling && ok && signatureTakesCtx(msig) {
+				p.Reportf(call.Pos(), "%s.%s has a context-aware variant %s: call it with the incoming ctx so the span follows the request",
+					recv.Obj().Name(), fn.Name(), sibling)
+				return
+			}
+		}
+		return
+	}
+	if fn.Pkg() == nil {
+		return
+	}
+	obj := fn.Pkg().Scope().Lookup(sibling)
+	sfn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	ssig, ok := sfn.Type().(*types.Signature)
+	if ok && signatureTakesCtx(ssig) {
+		p.Reportf(call.Pos(), "%s has a context-aware variant %s: call it with the incoming ctx so the span follows the request",
+			fn.Name(), sibling)
+	}
+}
+
+func signatureTakesCtx(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// wantRe matches the quoted expectations of a `// want "re" "re"`
+// golden comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// CheckGolden loads the fixture package in dir under importPath, runs
+// one analyzer over it, and compares findings against the fixture's
+// `// want "regexp"` comments: every want must be matched by a finding
+// on its line, and every finding must be wanted. Returns the list of
+// mismatches (empty means pass) — the test harness for the suite.
+func CheckGolden(a *Analyzer, dir, importPath string) ([]string, error) {
+	pkg, err := LoadDir(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" → expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx+len("// want "):], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						return nil, fmt.Errorf("lint: bad want regexp at %s: %w", key, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	var problems []string
+	for _, f := range Run(pkg, []*Analyzer{a}) {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected finding: %s", f))
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				problems = append(problems, fmt.Sprintf("%s: want %q, got no finding", key, w.re))
+			}
+		}
+	}
+	return problems, nil
+}
+
+// FindingAt is a test helper: true if any finding sits at line in a
+// file whose base name matches file.
+func FindingAt(findings []Finding, file string, line int) bool {
+	for _, f := range findings {
+		if strings.HasSuffix(f.Pos.Filename, file) && f.Pos.Line == line {
+			return true
+		}
+	}
+	return false
+}

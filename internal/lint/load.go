@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Package is one parsed and typechecked package ready for analysis.
+type Package struct {
+	Path  string // import path (synthetic for testdata fixtures)
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// loader shares one FileSet and one source importer across every load
+// in the process, so the (expensive) from-source typechecking of stdlib
+// and intra-module dependencies happens once, not once per package.
+type loader struct {
+	mu  sync.Mutex
+	fs  *token.FileSet
+	imp types.ImporterFrom
+}
+
+var shared = func() *loader {
+	fs := token.NewFileSet()
+	return &loader{
+		fs:  fs,
+		imp: importer.ForCompiler(fs, "source", nil).(types.ImporterFrom),
+	}
+}()
+
+// check parses and typechecks the given files as one package rooted at
+// importPath. Type errors are hard failures: the suite only analyzes
+// trees that compile.
+func (l *loader) check(importPath, dir string, filenames []string) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.fs, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			//proximity:allow lockdiscipline cold error path; the loader lock is coarse by design (shared FileSet and importer)
+			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(importPath, l.fs, files, info)
+	if err != nil {
+		//proximity:allow lockdiscipline cold error path; the loader lock is coarse by design (shared FileSet and importer)
+		return nil, fmt.Errorf("lint: typecheck %s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Fset: l.fs, Files: files, Types: pkg, Info: info}, nil
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+// LoadPackages enumerates patterns via `go list -json` run in dir and
+// returns each matched package parsed and typechecked (non-test files,
+// build-constraint filtered exactly as a build would).
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+	sort.Slice(listed, func(i, j int) bool { return listed[i].ImportPath < listed[j].ImportPath })
+	pkgs := make([]*Package, 0, len(listed))
+	for _, lp := range listed {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := shared.check(lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and typechecks every .go file in dir as one package
+// under the given import path. Used for testdata fixture packages,
+// which `go list` deliberately cannot see; the import path is synthetic
+// and chosen by the caller (path-scoped analyzers key off it).
+func LoadDir(dir, importPath string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	sort.Strings(matches)
+	names := make([]string, len(matches))
+	for i, m := range matches {
+		names[i] = filepath.Base(m)
+	}
+	return shared.check(importPath, dir, names)
+}

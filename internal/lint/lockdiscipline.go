@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockDiscipline enforces the two locking rules every cache and shard
+// in this repo lives by. First, the region between a sync.Mutex /
+// sync.RWMutex Lock and its Unlock must not do blocking or allocating
+// side work: no file I/O, no network, no fmt, no time.Sleep, and no
+// telemetry calls other than the documented lock-free accessors
+// (Observe / ObserveStage / Trace.ID) — a single fmt.Sprintf under the
+// FlatCache mutex serializes every reader behind an allocation, and a
+// network call turns the cache lock into a distributed-latency lock.
+// Second, a function that calls mu.Lock() (or RLock) must contain a
+// matching Unlock (deferred or explicit) somewhere — a lock with no
+// textual unlock in the same function is almost always a leaked lock.
+//
+// The analysis is function-local: helpers that run with a caller-held
+// lock (the *Locked naming convention) are not traced into. That keeps
+// the check noise-free; the convention plus this analyzer together
+// cover the tree.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "no blocking work under cache/shard mutexes; every Lock has an Unlock",
+	Run:  runLockDiscipline,
+}
+
+func runLockDiscipline(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.checkLockPairing(fd)
+			panics := panicArgRanges(fd.Body)
+			p.scanLockRegions(fd.Body.List, make(map[string]bool), panics)
+		}
+	}
+}
+
+// lockCall decodes stmt as a mutex method call, returning the lock-key
+// expression string ("c.mu"), the method name, and ok.
+func (p *Pass) lockCall(expr ast.Expr) (key, method string, ok bool) {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	named := p.recvNamed(call)
+	if named == nil {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	if obj.Name() != "Mutex" && obj.Name() != "RWMutex" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// checkLockPairing reports Lock/RLock calls in fd that have no textual
+// Unlock/RUnlock counterpart for the same mutex expression anywhere in
+// the function (deferred or not).
+func (p *Pass) checkLockPairing(fd *ast.FuncDecl) {
+	locks := make(map[string]ast.Node) // key+mode → first Lock site
+	unlocked := make(map[string]bool)  // key+mode → saw an unlock
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, method, ok := p.lockCall(call)
+		if !ok {
+			return true
+		}
+		switch method {
+		case "Lock":
+			if locks[key+"/w"] == nil {
+				locks[key+"/w"] = call
+			}
+		case "RLock":
+			if locks[key+"/r"] == nil {
+				locks[key+"/r"] = call
+			}
+		case "Unlock":
+			unlocked[key+"/w"] = true
+		case "RUnlock":
+			unlocked[key+"/r"] = true
+		}
+		return true
+	})
+	for k, site := range locks {
+		if !unlocked[k] {
+			key, _, _ := strings.Cut(k, "/")
+			p.Reportf(site.Pos(), "%s locked but never unlocked in %s (leaked lock on every path)",
+				key, fd.Name.Name)
+		}
+	}
+}
+
+// scanLockRegions walks a statement list tracking which mutexes are
+// held, reporting banned calls in held regions. Branch bodies get a
+// copy of the held set, so an unlock inside an early-return branch
+// doesn't leak into the fallthrough path's state.
+func (p *Pass) scanLockRegions(stmts []ast.Stmt, held map[string]bool, panics []posRange) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if key, method, ok := p.lockCall(s.X); ok {
+				switch method {
+				case "Lock", "RLock":
+					held[key] = true
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+				continue
+			}
+			if len(held) > 0 {
+				p.scanBannedCalls(s, held, panics)
+			}
+		case *ast.DeferStmt:
+			if key, method, ok := p.lockCall(s.Call); ok && (method == "Unlock" || method == "RUnlock") {
+				// Deferred unlock: region runs to function end by
+				// design; keep scanning with the lock held.
+				_ = key
+				continue
+			}
+			if len(held) > 0 {
+				p.scanBannedCalls(s, held, panics)
+			}
+		case *ast.BlockStmt:
+			p.scanLockRegions(s.List, copyHeld(held), panics)
+		case *ast.IfStmt:
+			if len(held) > 0 && s.Init != nil {
+				p.scanBannedCalls(s.Init, held, panics)
+			}
+			if len(held) > 0 {
+				p.scanBannedCalls(s.Cond, held, panics)
+			}
+			p.scanLockRegions(s.Body.List, copyHeld(held), panics)
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					p.scanLockRegions(e.List, copyHeld(held), panics)
+				case *ast.IfStmt:
+					p.scanLockRegions([]ast.Stmt{e}, copyHeld(held), panics)
+				}
+			}
+		case *ast.ForStmt:
+			p.scanLockRegions(s.Body.List, copyHeld(held), panics)
+		case *ast.RangeStmt:
+			p.scanLockRegions(s.Body.List, copyHeld(held), panics)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					p.scanLockRegions(cc.Body, copyHeld(held), panics)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					p.scanLockRegions(cc.Body, copyHeld(held), panics)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					p.scanLockRegions(cc.Body, copyHeld(held), panics)
+				}
+			}
+		default:
+			if len(held) > 0 {
+				p.scanBannedCalls(stmt, held, panics)
+			}
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// heldKeys renders the held set for messages, stable-ordered.
+func heldKeys(held map[string]bool) string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	return strings.Join(keys, ", ")
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// scanBannedCalls walks one statement's subtree (skipping nested
+// function literals, whose bodies run at another time, and panic
+// arguments) reporting calls that must not happen under a lock.
+func (p *Pass) scanBannedCalls(root ast.Node, held map[string]bool, panics []posRange) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if inRanges(panics, call.Pos()) {
+			return false
+		}
+		if what := p.bannedUnderLock(call); what != "" {
+			p.Reportf(call.Pos(), "%s while %s is held (move it outside the critical section)",
+				what, heldKeys(held))
+		}
+		return true
+	})
+}
+
+// osFileOps are the package-level os functions that touch the
+// filesystem.
+var osFileOps = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"WriteFile": true, "ReadFile": true, "ReadDir": true, "Remove": true,
+	"RemoveAll": true, "Rename": true, "Mkdir": true, "MkdirAll": true,
+	"MkdirTemp": true, "Stat": true, "Lstat": true, "Truncate": true,
+	"Chmod": true, "Symlink": true, "Link": true,
+}
+
+// telemetryLockFree are the telemetry methods documented as lock-free
+// (histogram observes are atomic bucket increments, Trace.ID is a field
+// read); everything else on the hub — tracer ring operations, registry
+// writes, span marshalling — is banned under a cache lock.
+var telemetryLockFree = map[string]bool{
+	"Observe": true, "ObserveStage": true, "ID": true,
+}
+
+// bannedUnderLock classifies a call that must not run under a mutex,
+// returning a short description or "".
+func (p *Pass) bannedUnderLock(call *ast.CallExpr) string {
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	pkg := fn.Pkg().Path()
+	switch {
+	case pkg == "fmt":
+		return "fmt." + fn.Name() + " (formats and allocates)"
+	case pkg == "os":
+		sig, ok := fn.Type().(*types.Signature)
+		if ok && sig.Recv() == nil && osFileOps[fn.Name()] {
+			return "file I/O os." + fn.Name()
+		}
+		if p.isMethodOn(call, "os", "File", fn.Name()) {
+			return "file I/O (*os.File)." + fn.Name()
+		}
+		return ""
+	case pkg == "net" || pkg == "net/http":
+		return "network call " + pkg + "." + fn.Name()
+	case pkg == "time" && fn.Name() == "Sleep":
+		return "time.Sleep"
+	case strings.HasSuffix(pkg, "internal/telemetry"):
+		if telemetryLockFree[fn.Name()] {
+			return ""
+		}
+		return "telemetry call " + fn.Name() + " (only lock-free Observe/ObserveStage/ID may run under a lock)"
+	}
+	return ""
+}

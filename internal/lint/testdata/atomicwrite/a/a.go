@@ -1,0 +1,37 @@
+// Package a is the atomicwrite golden fixture: raw artifact writes are
+// flagged, the temp-file half of the safe pattern is not, and a
+// streaming exception is allow-annotated.
+package a
+
+import "os"
+
+func persist(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil { // want "os.WriteFile writes non-atomically"
+		return err
+	}
+	f, err := os.Create(path + ".idx") // want "os.Create writes non-atomically"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// scratch uses CreateTemp — the first half of temp+rename — and is the
+// legitimate primitive atomic writes are built from.
+func scratch(dir string) (*os.File, error) {
+	return os.CreateTemp(dir, "scratch-*")
+}
+
+// stream appends to a live log; atomicity is meaningless for it.
+func stream(path string, line []byte) error {
+	//proximity:allow atomicwrite append-only live log, not a write-once artifact
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(line)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

@@ -1,0 +1,67 @@
+// Package a is the bodydrain golden fixture: a body closed unread is
+// flagged; drained, decoded, and delegated bodies pass.
+package a
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+func closedUnread(c *http.Client, url string) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() // want "resp.Body closed without being drained"
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	return nil
+}
+
+func drained(c *http.Client, url string) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+func decoded(c *http.Client, url string, out any) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// delegated hands the whole response to a helper; the drain happens
+// there, outside this function's view.
+func delegated(c *http.Client, url string) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return consume(resp)
+}
+
+func consume(resp *http.Response) error {
+	_, err := io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+// allowed shows the escape hatch: a HEAD-style probe with a
+// known-empty body.
+func allowed(c *http.Client, url string) error {
+	resp, err := c.Head(url)
+	if err != nil {
+		return err
+	}
+	//proximity:allow bodydrain HEAD response has no body to drain
+	return resp.Body.Close()
+}

@@ -1,0 +1,52 @@
+// Package a is the ctxflow golden fixture: severed traces via fresh
+// context roots, untraced siblings of Context-variants, and the clean
+// threaded paths.
+package a
+
+import "context"
+
+type retriever struct{}
+
+func (r *retriever) Retrieve(q string) ([]int, error) { return nil, nil }
+
+func (r *retriever) RetrieveContext(ctx context.Context, q string) ([]int, error) {
+	return nil, nil
+}
+
+func lookup(q string) ([]int, error) { return nil, nil }
+
+func lookupContext(ctx context.Context, q string) ([]int, error) { return nil, nil }
+
+func handle(ctx context.Context, r *retriever, q string) error {
+	if _, err := r.RetrieveContext(context.Background(), q); err != nil { // want "inside a ctx-carrying function severs the trace"
+		return err
+	}
+	if _, err := r.Retrieve(q); err != nil { // want "retriever.Retrieve has a context-aware variant RetrieveContext"
+		return err
+	}
+	if _, err := lookup(q); err != nil { // want "lookup has a context-aware variant lookupContext"
+		return err
+	}
+	_, err := lookupContext(ctx, q) // threaded: clean
+	return err
+}
+
+// detached roots a fresh context inside a closure — a goroutine that
+// outlives the request — and is exempt by design.
+func detached(ctx context.Context, r *retriever, q string) {
+	go func() {
+		_, _ = r.RetrieveContext(context.Background(), q)
+	}()
+}
+
+// allowed shows the escape hatch for a named-function detachment.
+func allowed(ctx context.Context, r *retriever, q string) {
+	//proximity:allow ctxflow fire-and-forget warmup, must survive request cancellation
+	_, _ = r.RetrieveContext(context.Background(), q)
+}
+
+// noCtx has no Context parameter: calling the plain variant is fine.
+func noCtx(r *retriever, q string) {
+	_, _ = r.Retrieve(q)
+	_, _ = lookup(q)
+}

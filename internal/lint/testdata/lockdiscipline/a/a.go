@@ -1,0 +1,79 @@
+// Package a is the lockdiscipline golden fixture: blocking work under
+// a mutex, a leaked lock, the exempt lock-free telemetry observes, and
+// clean early-unlock control flow.
+package a
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"proximity/internal/telemetry"
+)
+
+type store struct {
+	mu    sync.RWMutex
+	data  map[string][]byte
+	telem *telemetry.Telemetry
+}
+
+func (s *store) blockingUnderLock(k string, v []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[k] = v
+	fmt.Printf("stored %s\n", k)                      // want "fmt.Printf .* while s.mu is held"
+	if err := os.WriteFile(k, v, 0o644); err != nil { // want "file I/O os.WriteFile while s.mu is held"
+		return err
+	}
+	if _, err := http.Get("http://backup/" + k); err != nil { // want "network call net/http.Get while s.mu is held"
+		return err
+	}
+	time.Sleep(time.Millisecond) // want "time.Sleep while s.mu is held"
+	return nil
+}
+
+func (s *store) leaked(k string) int {
+	s.mu.RLock() // want "s.mu locked but never unlocked in leaked"
+	return len(s.data[k])
+}
+
+// earlyUnlock releases on both paths; the post-unlock I/O is clean.
+func (s *store) earlyUnlock(k string) error {
+	s.mu.RLock()
+	v, ok := s.data[k]
+	if !ok {
+		s.mu.RUnlock()
+		return nil
+	}
+	s.mu.RUnlock()
+	return os.WriteFile(k, v, 0o644)
+}
+
+// observeUnderLock is the sanctioned pattern: histogram observes are
+// lock-free by design and may run inside the critical section.
+func (s *store) observeUnderLock(k string) {
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[k] = nil
+	s.telem.ObserveStage(telemetry.StageCacheFill, time.Since(start))
+}
+
+// allowed shows the escape hatch for an intentional exception.
+func (s *store) allowed(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//proximity:allow lockdiscipline startup-only path, never under traffic
+	fmt.Println("boot", k)
+}
+
+// panicPath may format: the process is dying anyway.
+func (s *store) panicPath(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.data == nil {
+		panic(fmt.Sprintf("corrupt store: %s", k))
+	}
+}

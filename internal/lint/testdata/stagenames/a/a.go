@@ -1,0 +1,29 @@
+// Package a is the stagenames golden fixture: literal series names and
+// locally minted constants are flagged; registry constants and names
+// threaded through variables pass.
+package a
+
+import "proximity/internal/telemetry"
+
+// localName is a constant, but minted outside the telemetry registry —
+// a second vocabulary waiting to drift.
+const localName = "proximity_local_hits_total"
+
+func register(reg *telemetry.Registry) {
+	reg.Counter("proximity_typo_hits_total", "Hits.") // want "series name literal passed to Registry.Counter"
+	reg.GaugeFunc("proximity_typo_depth", "Depth.",   // want "series name literal passed to Registry.GaugeFunc"
+		func() float64 { return 0 })
+	reg.Counter(localName, "Hits.") // want "series name constant localName declared outside internal/telemetry"
+
+	reg.Counter(telemetry.MetricCacheHitsTotal, "Hits.") // registry constant: clean
+	reg.HistogramLabeled(telemetry.MetricStageLatencySeconds,
+		"Latency.", "stage", telemetry.StageCacheLookup.String())
+
+	//proximity:allow stagenames experiment-local series, not part of the product vocabulary
+	reg.Counter("proximity_experiment_total", "Experiment.")
+}
+
+// threaded accepts any name the caller resolved upstream.
+func threaded(reg *telemetry.Registry, name string) {
+	reg.Counter(name, "Caller-resolved.")
+}

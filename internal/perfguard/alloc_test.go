@@ -1,0 +1,128 @@
+// Package perfguard holds the allocation-budget regression tests for
+// the //proximity:hotpath functions. The static side of the contract is
+// proximity-vet's hotpathalloc analyzer; these tests are the dynamic
+// side — they pin the actual per-call allocation counts so a regression
+// that slips past the analyzer (an allocation inside a callee, an
+// escape-analysis change) still fails CI.
+//
+// Budgets: hnsw.SearchInto is allocation-free in steady state;
+// FlatCache.Get, IndexedCache.Get, and the tiered hot-hit lookup are
+// allowed exactly their one documented caller-owned docs copy.
+package perfguard
+
+import (
+	"testing"
+
+	"proximity/internal/core"
+	"proximity/internal/hnsw"
+	"proximity/internal/tier"
+	"proximity/internal/vec"
+)
+
+const dim = 32
+
+// testVec builds a deterministic unit-ish vector for slot i.
+func testVec(i int) vec.Vector {
+	v := make(vec.Vector, dim)
+	for j := range v {
+		v[j] = float32((i*31+j*7)%13) / 13
+	}
+	return v
+}
+
+func checkBudget(t *testing.T, name string, budget float64, f func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+	// One warm-up call settles pools and grow-once buffers before
+	// counting.
+	f()
+	if allocs := testing.AllocsPerRun(200, f); allocs > budget {
+		t.Errorf("%s: %.1f allocs/op, budget %.0f", name, allocs, budget)
+	}
+}
+
+func TestSearchIntoAllocFree(t *testing.T) {
+	ix, err := hnsw.New(dim, vec.L2Distance, hnsw.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		if err := ix.Add(testVec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := testVec(17)
+	dst := make([]vec.Scored, 0, 64)
+	checkBudget(t, "hnsw.SearchInto", 0, func() {
+		dst = dst[:0]
+		if _, err := ix.SearchInto(dst, q, 8, 32); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestFlatGetBudget(t *testing.T) {
+	c, err := core.NewFlat(dim, core.Options{Capacity: 64, Tolerance: 10, Policy: core.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		c.Put(testVec(i), []int{i, i + 1})
+	}
+	q := testVec(5)
+	checkBudget(t, "FlatCache.Get", 1, func() {
+		if _, ok := c.Get(q); !ok {
+			t.Fatal("expected a hit")
+		}
+	})
+}
+
+// TestIndexedGetBudget pins both lookup regimes: the sub-crossover
+// exact scan and the graph beam search.
+func TestIndexedGetBudget(t *testing.T) {
+	for name, crossover := range map[string]int{"scan": 1 << 20, "graph": 4} {
+		t.Run(name, func(t *testing.T) {
+			c, err := core.NewIndexed(dim, core.IndexedOptions{
+				Capacity: 64, Tolerance: 10, Policy: core.LRU,
+				Crossover: crossover, Seed: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 32; i++ {
+				c.Put(testVec(i), []int{i, i + 1})
+			}
+			q := testVec(5)
+			checkBudget(t, "IndexedCache.Get/"+name, 1, func() {
+				if _, ok := c.Get(q); !ok {
+					t.Fatal("expected a hit")
+				}
+			})
+		})
+	}
+}
+
+// TestTierHotHitBudget pins the tiered lookup's hot-hit path: the
+// TierGet docs copy is the only allocation — in particular the deferred
+// Commit must not cost a closure allocation per hit.
+func TestTierHotHitBudget(t *testing.T) {
+	tc, err := tier.New(dim, tier.Options{
+		HotCapacity: 64, WarmCapacity: 128, Tolerance: 10,
+		Policy: core.FIFO, Dir: t.TempDir(), Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+	for i := 0; i < 32; i++ {
+		tc.Put(testVec(i), []int{i, i + 1})
+	}
+	q := testVec(5)
+	checkBudget(t, "TieredCache.Get (hot hit)", 1, func() {
+		if _, ok := tc.Get(q); !ok {
+			t.Fatal("expected a hot hit")
+		}
+	})
+}

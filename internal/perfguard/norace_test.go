@@ -1,0 +1,5 @@
+//go:build !race
+
+package perfguard
+
+const raceEnabled = false

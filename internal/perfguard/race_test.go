@@ -1,0 +1,9 @@
+//go:build race
+
+package perfguard
+
+// raceEnabled gates the allocation-count assertions: race
+// instrumentation adds bookkeeping allocations that would fail the
+// budgets for reasons unrelated to the code under test. CI runs this
+// package without -race in the vet job.
+const raceEnabled = true

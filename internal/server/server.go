@@ -124,96 +124,96 @@ func (s *Server) registerMetrics() {
 	ret := s.cfg.Retriever
 	if cache := ret.Cache(); cache != nil {
 		if _, remote := cache.(statsSnapshotter); !remote {
-			reg.CounterFunc("proximity_cache_hits_total", "Cache hits.",
+			reg.CounterFunc(telemetry.MetricCacheHitsTotal, "Cache hits.",
 				func() float64 { return float64(cache.Stats().Hits) })
-			reg.CounterFunc("proximity_cache_misses_total", "Cache misses.",
+			reg.CounterFunc(telemetry.MetricCacheMissesTotal, "Cache misses.",
 				func() float64 { return float64(cache.Stats().Misses) })
-			reg.CounterFunc("proximity_cache_evictions_total", "Cache evictions.",
+			reg.CounterFunc(telemetry.MetricCacheEvictionsTotal, "Cache evictions.",
 				func() float64 { return float64(cache.Stats().Evictions) })
-			reg.CounterFunc("proximity_cache_puts_total", "Cache fills.",
+			reg.CounterFunc(telemetry.MetricCachePutsTotal, "Cache fills.",
 				func() float64 { return float64(cache.Stats().Puts) })
-			reg.CounterFunc("proximity_cache_distance_comparisons_total",
+			reg.CounterFunc(telemetry.MetricCacheDistCompsTotal,
 				"Exact distance computations performed by cache lookups.",
 				func() float64 { return float64(cache.Stats().DistComps) })
-			reg.GaugeFunc("proximity_cache_entries", "Resident cache entries.",
+			reg.GaugeFunc(telemetry.MetricCacheEntries, "Resident cache entries.",
 				func() float64 { return float64(cache.Len()) })
-			reg.GaugeFunc("proximity_cache_capacity", "Configured cache capacity.",
+			reg.GaugeFunc(telemetry.MetricCacheCapacity, "Configured cache capacity.",
 				func() float64 { return float64(cache.Capacity()) })
 		}
 		if is, ok := cache.(core.IndexStatser); ok {
-			reg.CounterFunc("proximity_index_graph_hops_total",
+			reg.CounterFunc(telemetry.MetricIndexGraphHopsTotal,
 				"Graph-index traversal hops.",
 				func() float64 { return float64(is.IndexStats().GraphHops) })
-			reg.CounterFunc("proximity_index_reranks_total",
+			reg.CounterFunc(telemetry.MetricIndexReranksTotal,
 				"Exact re-rank passes after graph traversal.",
 				func() float64 { return float64(is.IndexStats().Reranks) })
-			reg.GaugeFunc("proximity_index_tombstones",
+			reg.GaugeFunc(telemetry.MetricIndexTombstones,
 				"Tombstoned (deleted, not yet reused) graph slots.",
 				func() float64 { return float64(is.IndexStats().Tombstones) })
-			reg.CounterFunc("proximity_index_reused_slots_total",
+			reg.CounterFunc(telemetry.MetricIndexReusedSlotsTotal,
 				"Evicted graph slots recycled for new entries.",
 				func() float64 { return float64(is.IndexStats().ReusedSlots) })
-			reg.CounterFunc("proximity_index_severed_in_edges_total",
+			reg.CounterFunc(telemetry.MetricIndexSeveredInEdgesTotal,
 				"Stale incoming edges cut at slot reuse.",
 				func() float64 { return float64(is.IndexStats().SeveredInEdges) })
-			reg.CounterFunc("proximity_index_repair_passes_total",
+			reg.CounterFunc(telemetry.MetricIndexRepairPassesTotal,
 				"Incremental graph-maintenance passes.",
 				func() float64 { return float64(is.IndexStats().RepairPasses) })
-			reg.CounterFunc("proximity_index_repaired_nodes_total",
+			reg.CounterFunc(telemetry.MetricIndexRepairedNodesTotal,
 				"Degraded neighborhoods re-linked by maintenance.",
 				func() float64 { return float64(is.IndexStats().RepairedNodes) })
-			reg.GaugeFunc("proximity_index_repair_pending",
+			reg.GaugeFunc(telemetry.MetricIndexRepairPending,
 				"Graph nodes queued for repair.",
 				func() float64 { return float64(is.IndexStats().PendingRepair) })
 		}
 		if ts, ok := cache.(core.TierStatser); ok {
-			reg.GaugeFunc("proximity_tier_hot_entries", "Resident hot-tier entries.",
+			reg.GaugeFunc(telemetry.MetricTierHotEntries, "Resident hot-tier entries.",
 				func() float64 { return float64(ts.TierStats().HotEntries) })
-			reg.GaugeFunc("proximity_tier_hot_capacity", "Configured hot-tier capacity.",
+			reg.GaugeFunc(telemetry.MetricTierHotCapacity, "Configured hot-tier capacity.",
 				func() float64 { return float64(ts.TierStats().HotCapacity) })
-			reg.GaugeFunc("proximity_tier_warm_entries", "Resident warm-tier entries.",
+			reg.GaugeFunc(telemetry.MetricTierWarmEntries, "Resident warm-tier entries.",
 				func() float64 { return float64(ts.TierStats().WarmEntries) })
-			reg.GaugeFunc("proximity_tier_warm_capacity", "Configured warm-tier capacity.",
+			reg.GaugeFunc(telemetry.MetricTierWarmCapacity, "Configured warm-tier capacity.",
 				func() float64 { return float64(ts.TierStats().WarmCapacity) })
-			reg.GaugeFunc("proximity_tier_warm_bytes", "Vector bytes resident in warm record files.",
+			reg.GaugeFunc(telemetry.MetricTierWarmBytes, "Vector bytes resident in warm record files.",
 				func() float64 { return float64(ts.TierStats().WarmBytes) })
-			reg.CounterFunc("proximity_tier_hot_hits_total", "Lookups served by the hot tier.",
+			reg.CounterFunc(telemetry.MetricTierHotHitsTotal, "Lookups served by the hot tier.",
 				func() float64 { return float64(ts.TierStats().HotHits) })
-			reg.CounterFunc("proximity_tier_warm_hits_total", "Lookups served by the warm tier.",
+			reg.CounterFunc(telemetry.MetricTierWarmHitsTotal, "Lookups served by the warm tier.",
 				func() float64 { return float64(ts.TierStats().WarmHits) })
-			reg.CounterFunc("proximity_tier_promotions_total",
+			reg.CounterFunc(telemetry.MetricTierPromotionsTotal,
 				"Warm entries moved back into the hot tier on a hit.",
 				func() float64 { return float64(ts.TierStats().Promotions) })
-			reg.CounterFunc("proximity_tier_demotions_total",
+			reg.CounterFunc(telemetry.MetricTierDemotionsTotal,
 				"Hot-tier evictions absorbed into the warm tier.",
 				func() float64 { return float64(ts.TierStats().Demotions) })
-			reg.CounterFunc("proximity_tier_warm_discards_total",
+			reg.CounterFunc(telemetry.MetricTierWarmDiscardsTotal,
 				"Entries aged out of the warm tier (true evictions).",
 				func() float64 { return float64(ts.TierStats().WarmDiscards) })
-			reg.CounterFunc("proximity_tier_warm_scanned_total",
+			reg.CounterFunc(telemetry.MetricTierWarmScannedTotal,
 				"Warm vectors read and exactly compared during lookups.",
 				func() float64 { return float64(ts.TierStats().WarmScanned) })
-			reg.CounterFunc("proximity_tier_warm_pruned_total",
+			reg.CounterFunc(telemetry.MetricTierWarmPrunedTotal,
 				"Warm entries skipped by pivot lower bounds without a record read.",
 				func() float64 { return float64(ts.TierStats().WarmPruned) })
 		}
 	}
 	if bs, ok := ret.Searcher().(batchStatser); ok {
-		reg.CounterFunc("proximity_batch_searches_total",
+		reg.CounterFunc(telemetry.MetricBatchSearchesTotal,
 			"Searches entering the miss-coalescing pipeline.",
 			func() float64 { return float64(bs.Stats().Searches) })
-		reg.CounterFunc("proximity_batch_coalesced_total",
+		reg.CounterFunc(telemetry.MetricBatchCoalescedTotal,
 			"Searches served from another request's flight.",
 			func() float64 { return float64(bs.Stats().Coalesced) })
-		reg.CounterFunc("proximity_batch_flushes_total",
+		reg.CounterFunc(telemetry.MetricBatchFlushesTotal,
 			"Batched SearchBatch calls issued to the index.",
 			func() float64 { return float64(bs.Stats().Flushes) })
-		reg.CounterFunc("proximity_batch_errors_total",
+		reg.CounterFunc(telemetry.MetricBatchErrorsTotal,
 			"Pipeline searches that returned a backend error.",
 			func() float64 { return float64(bs.Stats().Errors) })
 	}
 	if pd, ok := ret.Searcher().(interface{ Pending() int }); ok {
-		reg.GaugeFunc("proximity_batch_queue_depth",
+		reg.GaugeFunc(telemetry.MetricBatchQueueDepth,
 			"Gathered-but-unflushed searches across batch queues.",
 			func() float64 { return float64(pd.Pending()) })
 	}

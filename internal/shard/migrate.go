@@ -131,6 +131,7 @@ func (s *slot) keys() ([]vec.Vector, error) {
 	}
 	src, ok := s.cache.(core.EntrySource)
 	if !ok {
+		//proximity:allow lockdiscipline cold error path; the shared slot lock guards the cache swap itself
 		return nil, fmt.Errorf("%w (%T)", ErrNotMigratable, s.cache)
 	}
 	entries := src.Entries()

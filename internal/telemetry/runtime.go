@@ -12,31 +12,31 @@ func RegisterRuntimeMetrics(reg *Registry) {
 	if reg == nil {
 		return
 	}
-	reg.GaugeFunc("proximity_goroutines",
+	reg.GaugeFunc(MetricGoroutines,
 		"Number of live goroutines.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
-	reg.GaugeFunc("proximity_heap_alloc_bytes",
+	reg.GaugeFunc(MetricHeapAllocBytes,
 		"Bytes of allocated heap objects.",
 		func() float64 {
 			var m runtime.MemStats
 			runtime.ReadMemStats(&m)
 			return float64(m.HeapAlloc)
 		})
-	reg.GaugeFunc("proximity_heap_objects",
+	reg.GaugeFunc(MetricHeapObjects,
 		"Number of allocated heap objects.",
 		func() float64 {
 			var m runtime.MemStats
 			runtime.ReadMemStats(&m)
 			return float64(m.HeapObjects)
 		})
-	reg.CounterFunc("proximity_gc_cycles_total",
+	reg.CounterFunc(MetricGCCyclesTotal,
 		"Completed GC cycles.",
 		func() float64 {
 			var m runtime.MemStats
 			runtime.ReadMemStats(&m)
 			return float64(m.NumGC)
 		})
-	reg.GaugeFunc("proximity_gc_last_pause_seconds",
+	reg.GaugeFunc(MetricGCLastPauseSeconds,
 		"Duration of the most recent GC stop-the-world pause.",
 		func() float64 {
 			var m runtime.MemStats

@@ -94,7 +94,7 @@ func NewStageSet(reg *Registry) *StageSet {
 	for i := range s.hists {
 		if reg != nil {
 			s.hists[i] = reg.HistogramLabeled(
-				"proximity_stage_latency_seconds",
+				MetricStageLatencySeconds,
 				"Per-stage latency of the retrieval path.",
 				"stage", Stage(i).String(),
 			)

@@ -188,6 +188,8 @@ func LSHHot(opts core.LSHOptions) func(dim int, base core.Options) (core.TierCac
 // the warm tier is probed with the hot distance as the beat-this bound,
 // and only the winner's bookkeeping runs. A warm win under LRU promotes
 // the entry back into the hot tier, demoting the hot front if full.
+//
+//proximity:hotpath
 func (t *TieredCache) Get(q vec.Vector) ([]int, bool) {
 	if q == nil {
 		return nil, false
@@ -205,6 +207,7 @@ func (t *TieredCache) Get(q vec.Vector) ([]int, bool) {
 	t.telem.Observe(telemetry.StageTierWarmLookup, time.Since(start))
 	if warmOK {
 		t.warmHits++
+		//proximity:allow hotpathalloc warm-hit docs copy; the warm path already paid a file read
 		docs := append([]int(nil), we.docs...)
 		if t.opts.Policy == core.LRU {
 			t.promoteLocked(we)

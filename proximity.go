@@ -278,6 +278,33 @@
 // able from zero with sampling off). Sampling is off by default
 // (TelemetryOptions.SampleEvery 0); an unsampled request pays only nil
 // checks and histogram observations.
+//
+// # Static analysis
+//
+// The invariants the benchmarks and crash-safety guarantees rest on are
+// machine-checked by cmd/proximity-vet, a zero-dependency analysis
+// suite (internal/lint) that CI runs next to go vet:
+//
+//	go run ./cmd/proximity-vet ./...
+//
+// Six analyzers cover the repo's standing rules: hotpathalloc (no
+// allocations in //proximity:hotpath functions beyond their documented
+// budget), lockdiscipline (no file I/O, network, fmt, or blocking
+// telemetry work while a cache or shard mutex is held, and every Lock
+// has an Unlock), stagenames (Prometheus series names come from the
+// telemetry.Metric* registry, so a typo cannot fork a series),
+// atomicwrite (artifacts are written via the atomic temp+rename helper,
+// never raw os.WriteFile/os.Create), ctxflow (functions receiving a
+// context.Context thread it into context-aware callees), and bodydrain
+// (HTTP response bodies are drained before Close so keep-alive
+// connections are reused).
+//
+// Two comment directives steer the suite: //proximity:hotpath in a
+// function's doc comment opts it into the allocation check, and
+// //proximity:allow <analyzer> <reason> on (or directly above) a
+// flagged line suppresses one finding — by convention always with the
+// reason. The dynamic halves of the hot-path budgets live in
+// internal/perfguard as testing.AllocsPerRun regressions.
 package proximity
 
 import (
